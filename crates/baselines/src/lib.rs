@@ -1,0 +1,34 @@
+//! `malleus-baselines` — the comparison systems of the paper's evaluation.
+//!
+//! The paper compares Malleus against:
+//!
+//! * **Megatron-LM** — uniform 3D parallelism (DP × TP × PP with even layer and
+//!   data splits).  Its parallelization is oblivious to stragglers, so a single
+//!   slow GPU gates the whole job ([`megatron`]).
+//! * **DeepSpeed** — ZeRO-3 / fully-sharded data parallelism whose per-layer
+//!   parameter gathers are globally synchronous ([`deepspeed`]).
+//! * **Megatron-LM / DeepSpeed "w/ Restart"** — the manual remediation of
+//!   §7.2: exclude every node containing a straggler, re-tune the parallel
+//!   configuration (Tables 6–7) and restart from a checkpoint ([`restart`]).
+//! * **Oobleck** — a fault-tolerant training system driven by precomputed
+//!   pipeline templates; it pays a standing efficiency tax and can only migrate
+//!   between template-compatible node counts, restarting otherwise
+//!   ([`oobleck`]).
+//! * The **theoretic optimum** `T_normal · N / ((N−n) + Σ 1/x_i)` used as the
+//!   yardstick in Tables 2–3 and Figure 9 ([`theoretic`]).
+//!
+//! All baselines run on the same simulator (`malleus-sim`) and the same
+//! profiled coefficients as Malleus so the comparisons isolate the
+//! *parallelization policy*, exactly as in the paper.
+
+pub mod deepspeed;
+pub mod megatron;
+pub mod oobleck;
+pub mod restart;
+pub mod theoretic;
+
+pub use deepspeed::{DeepSpeedConfig, DeepSpeedPlanner};
+pub use megatron::{MegatronConfig, MegatronPlanner};
+pub use oobleck::{OobleckOutcome, OobleckPlanner, OobleckTransition};
+pub use restart::{nodes_without_stragglers, RestartOutcome, RestartPlanner};
+pub use theoretic::theoretic_optimal_time;

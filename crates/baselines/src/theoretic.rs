@@ -1,0 +1,51 @@
+//! Theoretic-optimum yardstick (Tables 2–3, Figure 9).
+//!
+//! If hardware capability were exactly inversely proportional to the straggling
+//! rate and work could be split with perfect, fractional freedom, the best
+//! achievable slowdown over a healthy cluster of `N` GPUs with `n` stragglers
+//! of rates `x_1..x_n` is `N / ((N − n) + Σ 1/x_i)`.
+
+use malleus_cluster::ClusterSnapshot;
+use malleus_core::CostModel;
+
+/// The theoretic-optimal step time for a straggler situation, given the step
+/// time measured on the healthy cluster.
+pub fn theoretic_optimal_time(healthy_step_time: f64, snapshot: &ClusterSnapshot) -> f64 {
+    healthy_step_time * CostModel::theoretic_optimal_ratio(snapshot)
+}
+
+/// Gap of an actual time from the theoretic optimum, `1 − T_opt / T_actual`
+/// (the metric annotated in Figure 9).
+pub fn gap_from_optimum(actual: f64, optimum: f64) -> f64 {
+    1.0 - optimum / actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleus_cluster::{Cluster, GpuId};
+
+    #[test]
+    fn optimum_equals_healthy_time_without_stragglers() {
+        let cluster = Cluster::paper_testbed();
+        assert!((theoretic_optimal_time(19.2, &cluster.snapshot()) - 19.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_straggler_formula_matches_hand_computation() {
+        // 64 GPUs, one straggler at x = 5.42: ratio = 64 / (63 + 1/5.42).
+        let mut cluster = Cluster::paper_testbed();
+        cluster.set_rate(GpuId(0), 5.42);
+        let t = theoretic_optimal_time(19.2, &cluster.snapshot());
+        let expected = 19.2 * 64.0 / (63.0 + 1.0 / 5.42);
+        assert!((t - expected).abs() < 1e-9);
+        // The paper's Table 2 reports ~19.4 s for the 110B model here.
+        assert!((t - 19.4).abs() < 0.2);
+    }
+
+    #[test]
+    fn gap_is_zero_when_actual_equals_optimum() {
+        assert!(gap_from_optimum(10.0, 10.0).abs() < 1e-12);
+        assert!((gap_from_optimum(12.0, 10.0) - 1.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the Malleus planning algorithm and its phases.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malleus_bench::paper_workloads;
+use malleus_cluster::PaperSituation;
+use malleus_core::{grouping::group_cluster, CostModel};
+use std::hint::black_box;
+
+fn bench_full_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(10);
+    for workload in paper_workloads() {
+        let planner = workload.planner();
+        for situation in [PaperSituation::Normal, PaperSituation::S4] {
+            let snapshot = workload.snapshot_for(situation);
+            group.bench_function(format!("{}_{}", workload.label, situation.name()), |b| {
+                b.iter(|| planner.plan(black_box(&snapshot)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let workload = &paper_workloads()[2];
+    let coeffs = workload.coeffs();
+    let snapshot = workload.snapshot_for(PaperSituation::S5);
+    c.bench_function("grouping_110B_S5_tp8", |b| {
+        b.iter(|| group_cluster(black_box(&snapshot), &coeffs, 8, 1, 1.05, true))
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let workload = &paper_workloads()[0];
+    let planner = workload.planner();
+    let snapshot = workload.snapshot_for(PaperSituation::S2);
+    let outcome = planner.plan(&snapshot).unwrap();
+    let cost = CostModel::new(workload.coeffs());
+    c.bench_function("cost_model_step_time_32B", |b| {
+        b.iter(|| cost.step_time(black_box(&outcome.plan), black_box(&snapshot)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_full_planning, bench_grouping, bench_cost_model
+}
+criterion_main!(benches);

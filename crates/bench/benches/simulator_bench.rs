@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the training-step simulator and migration planner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malleus_bench::paper_workloads;
+use malleus_cluster::PaperSituation;
+use malleus_core::plan_migration;
+use malleus_sim::{migration_time, TrainingSimulator};
+use std::hint::black_box;
+
+fn bench_step_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_step");
+    for workload in paper_workloads() {
+        let planner = workload.planner();
+        let snapshot = workload.snapshot_for(PaperSituation::S3);
+        let outcome = planner.plan(&snapshot).unwrap();
+        let simulator = TrainingSimulator::new(workload.coeffs());
+        group.bench_function(workload.label, |b| {
+            b.iter(|| {
+                simulator
+                    .step(black_box(&outcome.plan), black_box(&snapshot))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_migration_planning(c: &mut Criterion) {
+    let workload = &paper_workloads()[0];
+    let planner = workload.planner();
+    let healthy = workload.snapshot_for(PaperSituation::Normal);
+    let straggled = workload.snapshot_for(PaperSituation::S5);
+    let before = planner.plan(&healthy).unwrap().plan;
+    let after = planner.replan(&straggled, &before).unwrap().plan;
+    let coeffs = workload.coeffs();
+    c.bench_function("plan_migration_32B_S5", |b| {
+        b.iter(|| {
+            let migration = plan_migration(black_box(&before), black_box(&after), &coeffs);
+            migration_time(&coeffs, &straggled, &migration)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_step_simulation, bench_migration_planning
+}
+criterion_main!(benches);

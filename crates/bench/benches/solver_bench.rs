@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the ILP / MINLP solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use malleus_solver::{divide_pipelines, solve_minmax_allocation, DivisionProblem};
+use std::hint::black_box;
+
+fn bench_minmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minmax_allocation");
+    for &(slots, total) in &[(4usize, 80u64), (16, 80), (64, 1024)] {
+        let weights: Vec<f64> = (0..slots)
+            .map(|i| if i % 7 == 0 { 2.57 } else { 1.0 })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{slots}slots_{total}units")),
+            &(weights, total),
+            |b, (weights, total)| {
+                b.iter(|| solve_minmax_allocation(black_box(weights), black_box(*total), &[]))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_division(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_division");
+    // Paper-scale instance: 8 pipelines out of ~120 fast + 16 slow groups.
+    let large = DivisionProblem::new(
+        8,
+        120,
+        0.17,
+        (0..16).map(|i| 0.4 + i as f64 * 0.05).collect(),
+        1024,
+    );
+    // 64-GPU instance: 2 pipelines, 6 fast groups, 2 slow groups.
+    let small = DivisionProblem::new(2, 6, 0.17, vec![0.4, 0.9], 64);
+    group.bench_function("64gpu_S3", |b| {
+        b.iter(|| divide_pipelines(black_box(&small)))
+    });
+    group.bench_function("1024gpu_32stragglers", |b| {
+        b.iter(|| divide_pipelines(black_box(&large)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_minmax, bench_division
+}
+criterion_main!(benches);

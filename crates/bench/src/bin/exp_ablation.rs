@@ -1,0 +1,120 @@
+//! Figure 9: ablation of the four non-uniform partitioning dimensions.
+//!
+//! Three straggler scenarios of increasing dispersion are evaluated on the
+//! 110B model: three stragglers (x = 2.57, 5.42, 12.53) on one node, on two
+//! nodes and on three nodes.  For each scenario the harness reports the
+//! simulated step time of Megatron-LM, of Malleus restricted to non-uniform
+//! layers only, layers+data, layers+data+devices, the full planner
+//! (+ non-uniform stages), and the theoretic optimum — together with the gap
+//! `1 − T_opt / T_actual` annotated in the paper's figure.
+//!
+//! ```bash
+//! cargo run --release -p malleus-bench --bin exp_ablation
+//! ```
+
+use malleus_baselines::{theoretic_optimal_time, MegatronPlanner};
+use malleus_bench::paper_workloads;
+use malleus_bench::table::Table;
+use malleus_cluster::{Cluster, GpuId};
+use malleus_core::{Planner, PlannerConfig};
+use malleus_sim::TrainingSimulator;
+
+fn main() {
+    println!("Experiment: effectiveness of non-uniform partitioning (Figure 9)");
+    let workload = &paper_workloads()[2]; // 110B on 64 GPUs
+    let coeffs = workload.coeffs();
+    let simulator = TrainingSimulator::new(coeffs.clone());
+    let all_gpus: Vec<GpuId> = (0..workload.num_gpus() as u32).map(GpuId).collect();
+
+    // Healthy reference for the theoretic optimum.
+    let healthy = workload.cluster().snapshot();
+    let healthy_outcome = workload.planner().plan(&healthy).expect("healthy plan");
+    let healthy_time = simulator
+        .step(&healthy_outcome.plan, &healthy)
+        .expect("healthy step")
+        .step_time;
+
+    // Megatron reference configuration (tuned on the healthy cluster).
+    let megatron = MegatronPlanner::new(coeffs.clone(), workload.global_batch_size, 8);
+    let (mega_config, mega_plan, _) = megatron.search(&all_gpus).expect("megatron cfg");
+
+    // The three scenarios: stragglers with rates 2.57 / 5.42 / 12.53 placed on
+    // 1, 2 and 3 distinct nodes respectively (as in Figure 9).
+    let scenarios: Vec<(&str, Vec<(u32, f64)>)> = vec![
+        (
+            "all on node 0 (x0=2.57, x2=5.42, x4=12.53)",
+            vec![(0, 2.57), (2, 5.42), (4, 12.53)],
+        ),
+        (
+            "two nodes (x0=2.57, x2=5.42, x8=12.53)",
+            vec![(0, 2.57), (2, 5.42), (8, 12.53)],
+        ),
+        (
+            "three nodes (x0=2.57, x8=5.42, x16=12.53)",
+            vec![(0, 2.57), (8, 5.42), (16, 12.53)],
+        ),
+    ];
+
+    let variants: Vec<(&str, PlannerConfig)> = vec![
+        (
+            "w/ Layer",
+            PlannerConfig::ablation(true, false, false, false),
+        ),
+        (
+            "w/ Layer & Data",
+            PlannerConfig::ablation(true, true, false, false),
+        ),
+        (
+            "w/ Layer & Data & Device",
+            PlannerConfig::ablation(true, true, true, false),
+        ),
+        (
+            "w/ Layer & Data & Device & Stage",
+            PlannerConfig::ablation(true, true, true, true),
+        ),
+    ];
+
+    for (label, rates) in scenarios {
+        let mut cluster = Cluster::homogeneous(workload.num_nodes, 8);
+        for &(gpu, rate) in &rates {
+            cluster.set_rate(GpuId(gpu), rate);
+        }
+        let snapshot = cluster.snapshot();
+        let optimum = theoretic_optimal_time(healthy_time, &snapshot);
+        println!("\n=== scenario: {label} ===");
+        println!("theoretic optimum: {optimum:.2} s/step (healthy {healthy_time:.2} s)");
+
+        let mut table = Table::new(["configuration", "step (s)", "gap to optimum"]);
+        let mega_time = megatron
+            .simulate_step(&mega_plan, &snapshot, mega_config.activation_checkpointing)
+            .unwrap_or(f64::NAN);
+        table.row([
+            "Megatron-LM".to_string(),
+            format!("{mega_time:.2}"),
+            format!("{:.1}%", (1.0 - optimum / mega_time) * 100.0),
+        ]);
+        for (name, config) in &variants {
+            let planner = Planner::new(
+                coeffs.clone(),
+                PlannerConfig {
+                    global_batch_size: workload.global_batch_size,
+                    ..config.clone()
+                },
+            );
+            let cell = planner
+                .plan(&snapshot)
+                .ok()
+                .and_then(|o| simulator.step(&o.plan, &snapshot).ok())
+                .map(|r| r.step_time);
+            match cell {
+                Some(t) => table.row([
+                    name.to_string(),
+                    format!("{t:.2}"),
+                    format!("{:.1}%", (1.0 - optimum / t) * 100.0),
+                ]),
+                None => table.row([name.to_string(), "infeasible".to_string(), "-".to_string()]),
+            };
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 4: case studies of the parallelization plans Malleus discovers.
+//!
+//! * the 110B model under S4 (one level-1, level-2 and level-3 straggler on
+//!   three different nodes), and
+//! * the 32B model under S5 (eight level-1 stragglers on one node plus a
+//!   level-2 straggler on another node),
+//!
+//! printing the per-pipeline stages, TP groups, layer counts and micro-batch
+//! counts in the same shape as the paper's Table 4.
+//!
+//! ```bash
+//! cargo run --release -p malleus-bench --bin exp_case_studies
+//! ```
+
+use malleus_bench::paper_workloads;
+use malleus_cluster::PaperSituation;
+
+fn main() {
+    println!("Experiment: case studies of parallelization plans (Table 4)");
+    let workloads = paper_workloads();
+    let cases = [
+        (&workloads[2], PaperSituation::S4, "110B under S4"),
+        (&workloads[0], PaperSituation::S5, "32B under S5"),
+    ];
+    for (workload, situation, label) in cases {
+        let snapshot = workload.snapshot_for(situation);
+        let stragglers: Vec<String> = snapshot
+            .stragglers(1.05)
+            .into_iter()
+            .map(|g| format!("x{}={:.2}", g.0, snapshot.rate(g)))
+            .collect();
+        println!("\n=== {label} (stragglers: {}) ===", stragglers.join(", "));
+        let planner = workload.planner();
+        match planner.plan(&snapshot) {
+            Ok(outcome) => {
+                println!(
+                    "chosen max TP degree {} | DP {} | estimated {:.2} s/step",
+                    outcome.chosen_tp, outcome.dp, outcome.estimated_step_time
+                );
+                print!("{}", outcome.plan.describe(&snapshot));
+            }
+            Err(e) => println!("planning failed: {e}"),
+        }
+    }
+}

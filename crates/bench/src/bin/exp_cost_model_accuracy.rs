@@ -1,0 +1,80 @@
+//! Table 3: accuracy of the cost model and distance from the theoretic optimum.
+//!
+//! For every model and straggler situation this harness reports
+//!
+//! * `R_actual` — simulated step time with stragglers divided by the healthy
+//!   step time,
+//! * `R_opt`    — the theoretic-optimal ratio `N / ((N−n) + Σ 1/x_i)`,
+//! * `R_est`    — the ratio predicted by the planner's cost model,
+//!
+//! together with the gaps `1 − R_opt/R_actual` and `1 − R_est/R_actual` that
+//! Table 3 tabulates.
+//!
+//! ```bash
+//! cargo run --release -p malleus-bench --bin exp_cost_model_accuracy
+//! ```
+
+use malleus_bench::table::Table;
+use malleus_bench::{paper_workloads, PaperWorkload};
+use malleus_cluster::PaperSituation;
+use malleus_core::CostModel;
+use malleus_sim::TrainingSimulator;
+
+fn run_workload(workload: &PaperWorkload) {
+    println!("\n##### {} model #####", workload.label);
+    let planner = workload.planner();
+    let simulator = TrainingSimulator::new(workload.coeffs());
+
+    let healthy = workload.snapshot_for(PaperSituation::Normal);
+    let normal_outcome = planner.plan(&healthy).expect("normal plan");
+    let normal_actual = simulator
+        .step(&normal_outcome.plan, &healthy)
+        .expect("normal step")
+        .step_time;
+    let normal_estimated = normal_outcome.estimated_step_time;
+
+    let mut table = Table::new([
+        "situation",
+        "R_actual",
+        "R_opt",
+        "1-R_opt/R_actual",
+        "R_est",
+        "1-R_est/R_actual",
+    ]);
+    for situation in [
+        PaperSituation::S1,
+        PaperSituation::S2,
+        PaperSituation::S3,
+        PaperSituation::S4,
+        PaperSituation::S5,
+        PaperSituation::S6,
+    ] {
+        let snapshot = workload.snapshot_for(situation);
+        let outcome = planner
+            .replan(&snapshot, &normal_outcome.plan)
+            .expect("straggled plan");
+        let actual = simulator
+            .step(&outcome.plan, &snapshot)
+            .expect("straggled step")
+            .step_time;
+        let r_actual = actual / normal_actual;
+        let r_opt = CostModel::theoretic_optimal_ratio(&snapshot);
+        let r_est = outcome.estimated_step_time / normal_estimated;
+        table.row([
+            situation.name().to_string(),
+            format!("{r_actual:.2}"),
+            format!("{r_opt:.2}"),
+            format!("{:.2}%", (1.0 - r_opt / r_actual) * 100.0),
+            format!("{r_est:.2}"),
+            format!("{:.2}%", (1.0 - r_est / r_actual) * 100.0),
+        ]);
+    }
+    table.print();
+}
+
+fn main() {
+    println!("Experiment: cost-model accuracy and distance from the theoretic optimum (Table 3)");
+    for workload in paper_workloads() {
+        run_workload(&workload);
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 10 (Appendix A.1): brute-force enumeration of layer and data
+//! partitioning around a single straggler, validating that the cost model's
+//! optimum coincides with the end-to-end optimum.
+//!
+//! Setup (as in the paper): the 32B model with a fixed DP4 × PP2 × TP2 layout,
+//! sequence length reduced to 1K to lift the memory constraints, global batch
+//! 512, micro-batch 1, one level-1 straggler.  First every possible layer split
+//! of the straggler's pipeline is enumerated (the three healthy pipelines stay
+//! at 30/30); then, with the best layer split fixed, every possible number of
+//! micro-batches for the straggler's pipeline is enumerated.
+//!
+//! ```bash
+//! cargo run --release -p malleus-bench --bin exp_enumeration
+//! ```
+
+use malleus_bench::table::Table;
+use malleus_cluster::{Cluster, GpuId};
+use malleus_core::{CostModel, ParallelizationPlan, PipelinePlan, StagePlan, TpGroup};
+use malleus_model::{HardwareParams, ModelSpec, ProfiledCoefficients};
+use malleus_sim::TrainingSimulator;
+
+const GLOBAL_BATCH: u64 = 512;
+const LAYERS: u32 = 60;
+
+/// Build the fixed DP4×PP2×TP2 plan with the given straggler-pipeline layer
+/// split and micro-batch count (remaining micro-batches spread evenly over the
+/// three healthy pipelines).
+fn build_plan(straggler_layers: u32, straggler_micro_batches: u64) -> ParallelizationPlan {
+    let mut pipelines = Vec::new();
+    let remaining = GLOBAL_BATCH - straggler_micro_batches;
+    for dp_rank in 0..4u32 {
+        let base = dp_rank * 4;
+        let stage = |offset: u32, layers: u32| StagePlan {
+            group: TpGroup::new(vec![GpuId(base + offset), GpuId(base + offset + 1)]),
+            layers,
+        };
+        let (l0, l1, m) = if dp_rank == 0 {
+            (
+                straggler_layers,
+                LAYERS - straggler_layers,
+                straggler_micro_batches,
+            )
+        } else {
+            let share = remaining / 3
+                + if (dp_rank as u64 - 1) < remaining % 3 {
+                    1
+                } else {
+                    0
+                };
+            (LAYERS / 2, LAYERS / 2, share)
+        };
+        pipelines.push(PipelinePlan {
+            stages: vec![stage(0, l0), stage(2, l1)],
+            num_micro_batches: m,
+        });
+    }
+    ParallelizationPlan {
+        pipelines,
+        micro_batch_size: 1,
+        removed_gpus: (16..32).map(GpuId).collect(),
+    }
+}
+
+fn main() {
+    println!("Experiment: enumeration of layer and data partitioning (Figure 10, Appendix A.1)");
+    // 32B model with a 1K context so memory constraints never bind.
+    let mut spec = ModelSpec::llama2_32b();
+    spec.seq_len = 1024;
+    let coeffs = ProfiledCoefficients::derive(spec, HardwareParams::a800_cluster());
+    let cost = CostModel::new(coeffs.clone());
+    let simulator = TrainingSimulator::new(coeffs);
+
+    let mut cluster = Cluster::homogeneous(4, 8);
+    cluster.set_rate(GpuId(0), 2.57); // level-1 straggler in pipeline 0, stage 0
+    let snapshot = cluster.snapshot();
+
+    // ---- sweep the straggler stage's layer count ----
+    println!("\nLayer enumeration (straggler pipeline keeps 128 micro-batches):");
+    let mut table = Table::new(["straggler layers", "estimated (s)", "simulated (s)"]);
+    let mut best_est: Option<(u32, f64)> = None;
+    let mut best_actual: Option<(u32, f64)> = None;
+    for l in 3..=30u32 {
+        let plan = build_plan(l, 128);
+        // Very skewed splits put too many layers on the non-straggling stage
+        // and exceed its memory budget; those points are reported as OOM and
+        // excluded from the optimum search (the paper's testbed hits the same
+        // wall, which is why it reduces the sequence length).
+        let Ok(report) = simulator.step(&plan, &snapshot) else {
+            if l % 3 == 0 || l <= 6 {
+                table.row([l.to_string(), "OOM".to_string(), "OOM".to_string()]);
+            }
+            continue;
+        };
+        let estimated = cost.step_time(&plan, &snapshot);
+        let simulated = report.step_time;
+        if best_est.map(|(_, t)| estimated < t).unwrap_or(true) {
+            best_est = Some((l, estimated));
+        }
+        if best_actual.map(|(_, t)| simulated < t).unwrap_or(true) {
+            best_actual = Some((l, simulated));
+        }
+        if l % 3 == 0 || l <= 6 {
+            table.row([
+                l.to_string(),
+                format!("{estimated:.2}"),
+                format!("{simulated:.2}"),
+            ]);
+        }
+    }
+    table.print();
+    let (l_est, _) = best_est.unwrap();
+    let (l_act, _) = best_actual.unwrap();
+    println!("optimal layer split: estimated {l_est} layers, end-to-end {l_act} layers");
+
+    // ---- sweep the straggler pipeline's micro-batch count ----
+    println!("\nData enumeration (straggler stage fixed at {l_est} layers):");
+    let mut table = Table::new(["straggler micro-batches", "estimated (s)", "simulated (s)"]);
+    let mut best_est_m: Option<(u64, f64)> = None;
+    let mut best_actual_m: Option<(u64, f64)> = None;
+    for m in (2..=128u64).step_by(2) {
+        let plan = build_plan(l_est, m);
+        let estimated = cost.step_time(&plan, &snapshot);
+        let simulated = simulator.step(&plan, &snapshot).expect("step").step_time;
+        if best_est_m.map(|(_, t)| estimated < t).unwrap_or(true) {
+            best_est_m = Some((m, estimated));
+        }
+        if best_actual_m.map(|(_, t)| simulated < t).unwrap_or(true) {
+            best_actual_m = Some((m, simulated));
+        }
+        if m % 12 == 2 || m >= 120 {
+            table.row([
+                m.to_string(),
+                format!("{estimated:.2}"),
+                format!("{simulated:.2}"),
+            ]);
+        }
+    }
+    table.print();
+    let (m_est, _) = best_est_m.unwrap();
+    let (m_act, _) = best_actual_m.unwrap();
+    println!(
+        "optimal data split: estimated {m_est} micro-batches, end-to-end {m_act} micro-batches"
+    );
+    println!(
+        "cost-model optimum and end-to-end optimum agree within {} layers / {} micro-batches",
+        (l_est as i64 - l_act as i64).abs(),
+        (m_est as i64 - m_act as i64).abs()
+    );
+}

@@ -1,0 +1,84 @@
+//! Figure 8: comparison with the fault-tolerant baseline Oobleck on the 32B
+//! model.
+//!
+//! Oobleck treats stragglers as faults: it excludes their nodes, reconfigures
+//! only when a precomputed pipeline template covers the new node count, and
+//! restarts otherwise.  The harness reports, for every situation of the trace,
+//! both systems' step times, the ratio between them, and the transition cost
+//! (Malleus migration vs. Oobleck migration or restart).
+//!
+//! ```bash
+//! cargo run --release -p malleus-bench --bin exp_oobleck
+//! ```
+
+use malleus_baselines::{OobleckPlanner, OobleckTransition};
+use malleus_bench::paper_workloads;
+use malleus_bench::table::Table;
+use malleus_cluster::{PaperSituation, Trace};
+use malleus_core::PlannerConfig;
+use malleus_runtime::TrainingSession;
+
+fn main() {
+    println!("Experiment: comparison with Oobleck, 32B model (Figure 8)");
+    let workload = &paper_workloads()[0];
+    let coeffs = workload.coeffs();
+
+    // ---- Malleus session over the trace ----
+    let cluster = workload.cluster();
+    let trace = Trace::paper_trace(&cluster, 20);
+    let mut session = TrainingSession::new(
+        coeffs.clone(),
+        PlannerConfig {
+            global_batch_size: workload.global_batch_size,
+            ..PlannerConfig::default()
+        },
+        cluster,
+    );
+    let malleus = session.run(&trace).expect("Malleus session");
+
+    // ---- Oobleck over the same sequence of situations ----
+    let oobleck = OobleckPlanner::new(coeffs, workload.global_batch_size, 8);
+    let situations = [
+        PaperSituation::Normal,
+        PaperSituation::S1,
+        PaperSituation::S2,
+        PaperSituation::S3,
+        PaperSituation::S4,
+        PaperSituation::S5,
+        PaperSituation::S6,
+        PaperSituation::Normal,
+    ];
+    let initial_nodes = workload.num_nodes as usize;
+    let mut prev_nodes: Vec<u32> = (0..workload.num_nodes).collect();
+
+    let mut table = Table::new([
+        "phase",
+        "Oobleck (s)",
+        "Malleus (s)",
+        "ratio",
+        "Oobleck transition",
+        "Malleus migration (s)",
+    ]);
+    for (i, situation) in situations.iter().enumerate() {
+        let snapshot = workload.snapshot_for(*situation);
+        let outcome = oobleck
+            .handle_situation(&snapshot, &prev_nodes, initial_nodes)
+            .expect("Oobleck outcome");
+        let malleus_phase = &malleus.phases[i];
+        let transition = match outcome.transition {
+            OobleckTransition::NoChange => "-".to_string(),
+            OobleckTransition::Migrated => format!("migrate {:.1}s", outcome.transition_cost),
+            OobleckTransition::Restarted => format!("RESTART {:.0}s", outcome.transition_cost),
+        };
+        table.row([
+            situation.name().to_string(),
+            format!("{:.2}", outcome.step_time),
+            format!("{:.2}", malleus_phase.step_time),
+            format!("{:.2}x", outcome.step_time / malleus_phase.step_time),
+            transition,
+            format!("{:.1}", malleus_phase.migration_time),
+        ]);
+        prev_nodes = outcome.nodes_used;
+    }
+    table.print();
+}

@@ -1,0 +1,98 @@
+//! Table 5 (Appendix A.2): planning-time breakdown and scalability.
+//!
+//! The harness times the four phases of the planning algorithm — GPU grouping,
+//! pipeline division, group ordering and work assignment — for the paper's
+//! 64-GPU S3 scenario and for a simulated 1024-GPU cluster (128 nodes) with 32
+//! stragglers (~3% of the fleet) and a global batch scaled to 1024, both on the
+//! 110B model.
+//!
+//! ```bash
+//! cargo run --release -p malleus-bench --bin exp_planning_scalability
+//! ```
+
+use malleus_bench::paper_workloads;
+use malleus_bench::table::Table;
+use malleus_cluster::{Cluster, GpuId, PaperSituation, StragglerLevel};
+use malleus_core::{PlanTiming, Planner, PlannerConfig};
+use malleus_model::{HardwareParams, ProfiledCoefficients};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn row(label: &str, timing: &PlanTiming, table: &mut Table) {
+    let s = |d: std::time::Duration| format!("{:.2}s", d.as_secs_f64());
+    table.row([
+        label.to_string(),
+        s(timing.grouping),
+        s(timing.division),
+        s(timing.ordering),
+        s(timing.assignment),
+        s(timing.total()),
+    ]);
+}
+
+fn main() {
+    println!("Experiment: planning-time breakdown and scalability (Table 5, Appendix A.2)");
+    let workload = &paper_workloads()[2]; // 110B
+    let mut table = Table::new([
+        "scenario",
+        "GPU grouping",
+        "pipeline division",
+        "group ordering",
+        "work assignment",
+        "total",
+    ]);
+
+    // ---- 64 GPUs, S3 ----
+    let snapshot = workload.snapshot_for(PaperSituation::S3);
+    let planner = workload.planner();
+    let outcome = planner.plan(&snapshot).expect("64-GPU plan");
+    row("64 GPUs (S3, B=64)", &outcome.timing, &mut table);
+
+    // ---- 1024 GPUs, 32 random stragglers, B = 1024 ----
+    let mut cluster = Cluster::homogeneous(128, 8);
+    let mut rng = StdRng::seed_from_u64(2025);
+    let mut ids: Vec<u32> = (0..1024).collect();
+    ids.shuffle(&mut rng);
+    for (i, gpu) in ids.into_iter().take(32).enumerate() {
+        let level = match i % 3 {
+            0 => StragglerLevel::Level1,
+            1 => StragglerLevel::Level2,
+            _ => StragglerLevel::Level3,
+        };
+        cluster.set_rate(GpuId(gpu), level.rate());
+    }
+    let coeffs =
+        ProfiledCoefficients::derive(workload.spec.clone(), HardwareParams::a800_cluster());
+    // The paper keeps the DP degree fixed when scaling out (the global batch is
+    // scaled linearly); we fix DP = 8 and micro-batch 1 to match the analysis.
+    let planner = Planner::new(
+        coeffs,
+        PlannerConfig {
+            global_batch_size: 1024,
+            candidate_micro_batch_sizes: vec![1],
+            fixed_dp: Some(8),
+            ..PlannerConfig::default()
+        },
+    );
+    match planner.plan(&cluster.snapshot()) {
+        Ok(outcome) => {
+            row(
+                "1024 GPUs (32 stragglers, B=1024)",
+                &outcome.timing,
+                &mut table,
+            );
+            println!(
+                "1024-GPU plan: DP {} | max TP {} | estimated {:.2} s/step | {} standby GPUs",
+                outcome.dp,
+                outcome.chosen_tp,
+                outcome.estimated_step_time,
+                outcome.plan.removed_gpus.len()
+            );
+        }
+        Err(e) => println!("1024-GPU planning failed: {e}"),
+    }
+
+    println!();
+    table.print();
+    println!("\n(The planner runs on background CPU processes and is overlapped with one training step, §5.3.)");
+}

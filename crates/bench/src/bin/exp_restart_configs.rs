@@ -1,0 +1,44 @@
+//! Tables 6–7 (Appendix A.3): tuned configurations for the restart baselines.
+//!
+//! For every model and every number of excluded nodes (0–3) the harness runs
+//! the same configuration search an engineer would perform after excluding
+//! straggling nodes and restarting Megatron-LM or DeepSpeed, and prints the
+//! winning configuration — reproducing the shape of the paper's Tables 6 and 7
+//! and illustrating why manual re-tuning at every straggler transition is
+//! impractical.
+//!
+//! ```bash
+//! cargo run --release -p malleus-bench --bin exp_restart_configs
+//! ```
+
+use malleus_baselines::{restart::RestartFamily, RestartPlanner};
+use malleus_bench::paper_workloads;
+use malleus_bench::table::Table;
+use malleus_cluster::PaperSituation;
+
+fn main() {
+    println!("Experiment: tuned restart configurations (Tables 6-7, Appendix A.3)");
+    for (family, label) in [
+        (RestartFamily::Megatron, "Megatron-LM w/ Restart (Table 6)"),
+        (RestartFamily::DeepSpeed, "DeepSpeed w/ Restart (Table 7)"),
+    ] {
+        println!("\n=== {label} ===");
+        let mut table = Table::new([
+            "model",
+            "Normal (0 nodes removed)",
+            "S1/S2/S6 (1 node)",
+            "S3/S5 (2 nodes)",
+            "S4 (3 nodes)",
+        ]);
+        for workload in paper_workloads() {
+            let planner =
+                RestartPlanner::new(family, workload.coeffs(), workload.global_batch_size, 8);
+            let snapshot = workload.snapshot_for(PaperSituation::Normal);
+            let configs = planner.config_table(&snapshot, &[0, 1, 2, 3]);
+            let mut cells = vec![workload.label.to_string()];
+            cells.extend(configs.into_iter().map(|(_, c)| c));
+            table.row(cells);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,16 @@
+//! `malleus-bench` — experiment harnesses and benchmarks.
+//!
+//! Every table and figure in the paper's evaluation (§7 and Appendices A–B)
+//! has a corresponding binary under `src/bin/` that regenerates it on the
+//! simulated substrate; `EXPERIMENTS.md` at the repository root records the
+//! paper-reported values next to the reproduced ones.  The criterion benches
+//! under `benches/` cover the planner, solver and simulator hot paths.
+//!
+//! This library holds the shared pieces: canonical workload setups
+//! ([`scenarios`]) and minimal text-table rendering ([`table`]).
+
+pub mod scenarios;
+pub mod table;
+
+pub use scenarios::{paper_workloads, PaperWorkload};
+pub use table::Table;

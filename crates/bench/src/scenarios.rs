@@ -1,0 +1,104 @@
+//! Canonical experiment workloads (§7.1).
+//!
+//! The paper trains three LLaMA-2-architecture models: the 32B model on 32
+//! GPUs (4 nodes) and the 70B / 110B models on 64 GPUs (8 nodes), with a
+//! global batch of 64 sequences of 4K tokens.
+
+use malleus_cluster::{Cluster, ClusterSnapshot, PaperSituation};
+use malleus_core::{Planner, PlannerConfig};
+use malleus_model::{HardwareParams, ModelSpec, ProfiledCoefficients};
+
+/// One of the paper's three end-to-end workloads.
+#[derive(Debug, Clone)]
+pub struct PaperWorkload {
+    /// Short label (`"32B"`, `"70B"`, `"110B"`).
+    pub label: &'static str,
+    /// Model architecture.
+    pub spec: ModelSpec,
+    /// Number of 8-GPU nodes used for this workload.
+    pub num_nodes: u32,
+    /// Global batch size.
+    pub global_batch_size: u64,
+}
+
+impl PaperWorkload {
+    /// The simulated cluster for this workload (all GPUs healthy).
+    pub fn cluster(&self) -> Cluster {
+        Cluster::homogeneous(self.num_nodes, 8)
+    }
+
+    /// Profiled coefficients on A800-class hardware.
+    pub fn coeffs(&self) -> ProfiledCoefficients {
+        ProfiledCoefficients::derive(self.spec.clone(), HardwareParams::a800_cluster())
+    }
+
+    /// A Malleus planner with the default configuration for this workload.
+    pub fn planner(&self) -> Planner {
+        Planner::new(
+            self.coeffs(),
+            PlannerConfig {
+                global_batch_size: self.global_batch_size,
+                ..PlannerConfig::default()
+            },
+        )
+    }
+
+    /// Snapshot of the cluster under one of the paper's situations.
+    pub fn snapshot_for(&self, situation: PaperSituation) -> ClusterSnapshot {
+        let mut cluster = self.cluster();
+        let sit = situation.situation(&cluster);
+        cluster.apply_situation(&sit.rates);
+        cluster.snapshot()
+    }
+
+    /// Total number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.num_nodes as usize * 8
+    }
+}
+
+/// The three end-to-end workloads of §7.1.
+pub fn paper_workloads() -> Vec<PaperWorkload> {
+    vec![
+        PaperWorkload {
+            label: "32B",
+            spec: ModelSpec::llama2_32b(),
+            num_nodes: 4,
+            global_batch_size: 64,
+        },
+        PaperWorkload {
+            label: "70B",
+            spec: ModelSpec::llama2_70b(),
+            num_nodes: 8,
+            global_batch_size: 64,
+        },
+        PaperWorkload {
+            label: "110B",
+            spec: ModelSpec::llama2_110b(),
+            num_nodes: 8,
+            global_batch_size: 64,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_match_the_paper_setup() {
+        let w = paper_workloads();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].num_gpus(), 32);
+        assert_eq!(w[1].num_gpus(), 64);
+        assert_eq!(w[2].num_gpus(), 64);
+        assert!(w.iter().all(|w| w.global_batch_size == 64));
+    }
+
+    #[test]
+    fn snapshots_apply_situations() {
+        let w = &paper_workloads()[0];
+        let s = w.snapshot_for(PaperSituation::S4);
+        assert_eq!(s.stragglers(1.05).len(), 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Immutable cluster snapshots consumed by the profiler and planner.
+
+use crate::topology::GpuId;
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time view of the cluster topology and the (observed or true)
+/// per-GPU straggling rates.  This is the planner's sole input about hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Node index of each GPU (indexed by GPU id).
+    pub node_of: Vec<u32>,
+    /// Straggling rate of each GPU (indexed by GPU id).
+    pub rates: Vec<f64>,
+}
+
+impl ClusterSnapshot {
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The GPUs hosted on a node, in id order.
+    pub fn gpus_on_node(&self, node: u32) -> Vec<GpuId> {
+        self.node_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == node)
+            .map(|(i, _)| GpuId(i as u32))
+            .collect()
+    }
+
+    /// Straggling rate of a GPU.
+    pub fn rate(&self, gpu: GpuId) -> f64 {
+        self.rates[gpu.index()]
+    }
+
+    /// Node hosting a GPU.
+    pub fn node_of(&self, gpu: GpuId) -> u32 {
+        self.node_of[gpu.index()]
+    }
+
+    /// GPUs whose rate exceeds a threshold.
+    pub fn stragglers(&self, threshold: f64) -> Vec<GpuId> {
+        self.rates
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > threshold)
+            .map(|(i, _)| GpuId(i as u32))
+            .collect()
+    }
+
+    /// Replace the rate of one GPU, returning a new snapshot (used by what-if
+    /// analyses and the re-planning tests).
+    pub fn with_rate(&self, gpu: GpuId, rate: f64) -> Self {
+        let mut next = self.clone();
+        next.rates[gpu.index()] = rate;
+        next
+    }
+
+    /// Largest relative change of any GPU's rate w.r.t. another snapshot.
+    /// The paper triggers re-planning when this exceeds 5%.
+    pub fn max_relative_shift(&self, other: &ClusterSnapshot) -> f64 {
+        self.rates
+            .iter()
+            .zip(other.rates.iter())
+            .map(|(&a, &b)| {
+                if a.is_infinite() && b.is_infinite() {
+                    0.0
+                } else if a.is_infinite() || b.is_infinite() {
+                    f64::INFINITY
+                } else {
+                    (a - b).abs() / b.max(1e-12)
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Cluster;
+
+    #[test]
+    fn snapshot_queries() {
+        let mut c = Cluster::homogeneous(2, 4);
+        c.set_rate(GpuId(5), 2.57);
+        let s = c.snapshot();
+        assert_eq!(s.num_gpus(), 8);
+        assert_eq!(
+            s.gpus_on_node(1),
+            vec![GpuId(4), GpuId(5), GpuId(6), GpuId(7)]
+        );
+        assert_eq!(s.rate(GpuId(5)), 2.57);
+        assert_eq!(s.node_of(GpuId(5)), 1);
+        assert_eq!(s.stragglers(1.05), vec![GpuId(5)]);
+    }
+
+    #[test]
+    fn relative_shift_detects_changes() {
+        let c = Cluster::homogeneous(1, 4);
+        let a = c.snapshot();
+        let b = a.with_rate(GpuId(2), 1.04);
+        assert!(a.max_relative_shift(&b) < 0.05);
+        let b = a.with_rate(GpuId(2), 1.2);
+        assert!(a.max_relative_shift(&b) > 0.05);
+        let b = a.with_rate(GpuId(2), f64::INFINITY);
+        assert!(a.max_relative_shift(&b).is_infinite());
+    }
+
+    #[test]
+    fn identical_snapshots_have_zero_shift() {
+        let c = Cluster::homogeneous(1, 8);
+        let s = c.snapshot();
+        assert_eq!(s.max_relative_shift(&s.clone()), 0.0);
+    }
+}

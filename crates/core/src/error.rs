@@ -1,0 +1,55 @@
+//! Error type shared by the planning modules.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced while deducing or validating a parallelization plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// The cluster has no usable (non-failed) GPUs.
+    NoUsableGpus,
+    /// No feasible plan exists under the memory constraints for any candidate
+    /// configuration.
+    NoFeasiblePlan { reason: String },
+    /// A plan failed validation.
+    InvalidPlan { reason: String },
+    /// The requested data-parallel degree cannot be realized.
+    InfeasibleDataParallel { dp: usize, groups: usize },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoUsableGpus => write!(f, "no usable GPUs available for planning"),
+            PlanError::NoFeasiblePlan { reason } => {
+                write!(f, "no feasible parallelization plan: {reason}")
+            }
+            PlanError::InvalidPlan { reason } => {
+                write!(f, "invalid parallelization plan: {reason}")
+            }
+            PlanError::InfeasibleDataParallel { dp, groups } => write!(
+                f,
+                "cannot build {dp} pipelines from {groups} tensor-parallel groups"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(PlanError::NoUsableGpus.to_string().contains("no usable"));
+        assert!(PlanError::NoFeasiblePlan {
+            reason: "memory".into()
+        }
+        .to_string()
+        .contains("memory"));
+        assert!(PlanError::InfeasibleDataParallel { dp: 4, groups: 2 }
+            .to_string()
+            .contains("4"));
+    }
+}

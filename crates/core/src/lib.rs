@@ -1,0 +1,39 @@
+//! `malleus-core` — the Malleus parallelization-planning algorithm.
+//!
+//! This crate implements the paper's primary contribution: given per-GPU
+//! straggling rates, deduce a *parallelization plan* — a joint, non-uniform
+//! partitioning of GPU devices into tensor-parallel groups, groups into
+//! pipeline stages, model layers across stages and training data across
+//! pipelines — that minimizes the training-step time (§4 of the paper).
+//!
+//! The planning routine is a bi-level optimization:
+//!
+//! * **Upper level** (`grouping` + `orchestration`): partition GPUs into TP
+//!   groups (Theorem 1 even partitioning, heavy-straggler splitting guided by
+//!   the Theorem 2 harmonic-capacity estimate), then orchestrate pipelines
+//!   (pipeline division via the Eq. (4) MINLP, group ordering via Theorem 3).
+//! * **Lower level** (`assignment`): assign model layers within each pipeline
+//!   (Eq. (2) ILP) and micro-batches across pipelines (Eq. (3) ILP) under the
+//!   memory model of Appendix B.4.
+//!
+//! The [`planner::Planner`] ties the two levels together, enumerating candidate
+//! maximum TP degrees {1, 2, 4, 8} and micro-batch sizes exactly as §4.3.3
+//! describes, and reports a per-phase timing breakdown (Appendix A.2).
+//! [`migration`] computes the slice-level model-state movements needed to adopt
+//! a new plan on the fly (§5.1).
+
+pub mod assignment;
+pub mod cost;
+pub mod error;
+pub mod grouping;
+pub mod migration;
+pub mod orchestration;
+pub mod plan;
+pub mod planner;
+
+pub use cost::CostModel;
+pub use error::PlanError;
+pub use grouping::{group_cluster, GroupingResult};
+pub use migration::{plan_migration, MigrationPlan, SliceMove};
+pub use plan::{ParallelizationPlan, PipelinePlan, StagePlan, TpGroup};
+pub use planner::{PlanOutcome, PlanTiming, Planner, PlannerConfig};

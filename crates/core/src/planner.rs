@@ -1,0 +1,524 @@
+//! The end-to-end parallelization planner (§4.3.3).
+//!
+//! For every candidate maximum TP degree in {1, 2, 4, 8} the planner produces a
+//! grouping result, orchestrates pipelines for each candidate DP degree, and
+//! solves the lower-level work assignment for each candidate micro-batch size.
+//! The best plan under the cost model wins.  A per-phase timing breakdown is
+//! recorded so the planning-scalability experiment (Appendix A.2, Table 5) can
+//! be reproduced.
+
+use crate::assignment::assign_data;
+use crate::cost::CostModel;
+use crate::error::PlanError;
+use crate::grouping::group_cluster;
+use crate::orchestration::{divide_groups, order_and_assign_layers};
+use crate::plan::{ParallelizationPlan, PipelinePlan, TpGroup};
+use malleus_cluster::{ClusterSnapshot, GpuId};
+use malleus_model::ProfiledCoefficients;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Planner configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Global batch size `B` (sequences per step).
+    pub global_batch_size: u64,
+    /// Candidate maximum tensor-parallel degrees (the paper enumerates
+    /// {1, 2, 4, 8}).
+    pub candidate_tp_degrees: Vec<u32>,
+    /// Candidate micro-batch sizes `b`; only divisors of `B` are used.
+    pub candidate_micro_batch_sizes: Vec<u64>,
+    /// Candidate data-parallel degrees.  `None` derives powers of two up to the
+    /// number of groups.
+    pub candidate_dp: Option<Vec<usize>>,
+    /// Fix the DP degree (used during re-planning: the paper maintains the DP
+    /// degree across plan adjustments, footnote 2).
+    pub fixed_dp: Option<usize>,
+    /// Rate above which a GPU counts as a straggler for group splitting.
+    pub straggler_threshold: f64,
+    /// Enable heavy-straggler group splitting (non-uniform device partitioning).
+    pub enable_group_splitting: bool,
+    /// Enable non-uniform layer partitioning (Eq. (2)); disabled = even split.
+    pub nonuniform_layers: bool,
+    /// Enable non-uniform data partitioning (Eq. (3)); disabled = even split.
+    pub nonuniform_data: bool,
+    /// Enable non-uniform stage partitioning (Eq. (4) pipeline division);
+    /// disabled = equal group counts per pipeline.
+    pub nonuniform_stages: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            global_batch_size: 64,
+            candidate_tp_degrees: vec![1, 2, 4, 8],
+            candidate_micro_batch_sizes: vec![1, 2, 4],
+            candidate_dp: None,
+            fixed_dp: None,
+            straggler_threshold: 1.05,
+            enable_group_splitting: true,
+            nonuniform_layers: true,
+            nonuniform_data: true,
+            nonuniform_stages: true,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Configuration for the Figure 9 ablation: selectively disable the
+    /// non-uniform partitioning dimensions.
+    pub fn ablation(layers: bool, data: bool, device: bool, stages: bool) -> Self {
+        Self {
+            nonuniform_layers: layers,
+            nonuniform_data: data,
+            enable_group_splitting: device,
+            nonuniform_stages: stages,
+            ..Self::default()
+        }
+    }
+}
+
+/// Wall-clock breakdown of one planning invocation (Appendix A.2, Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlanTiming {
+    /// GPU grouping (Theorem 1 + splitting enumeration).
+    pub grouping: Duration,
+    /// Pipeline division (the Eq. (4) MINLP).
+    pub division: Duration,
+    /// Group ordering (Theorem 3 + bundle permutations, each evaluated through
+    /// the layer ILP).
+    pub ordering: Duration,
+    /// Final work assignment (layer + data ILPs for the winning candidate).
+    pub assignment: Duration,
+}
+
+impl PlanTiming {
+    /// Total planning time.
+    pub fn total(&self) -> Duration {
+        self.grouping + self.division + self.ordering + self.assignment
+    }
+}
+
+/// The result of a planning invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanOutcome {
+    /// The selected parallelization plan.
+    pub plan: ParallelizationPlan,
+    /// Estimated step time under the exact 1F1B cost model (seconds).
+    pub estimated_step_time: f64,
+    /// Estimated step time under the simplified cost model used by the ILPs
+    /// (this is what `R_est` in Table 3 reports).
+    pub estimated_step_time_simplified: f64,
+    /// The maximum TP degree of the winning grouping result.
+    pub chosen_tp: u32,
+    /// The data-parallel degree of the plan.
+    pub dp: usize,
+    /// Per-phase planning time.
+    pub timing: PlanTiming,
+}
+
+/// The Malleus parallelization planner.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Cost model (profiled coefficients).
+    pub cost: CostModel,
+    /// Configuration.
+    pub config: PlannerConfig,
+}
+
+impl Planner {
+    /// Create a planner from profiled coefficients and a configuration.
+    pub fn new(coeffs: ProfiledCoefficients, config: PlannerConfig) -> Self {
+        Self {
+            cost: CostModel::new(coeffs),
+            config,
+        }
+    }
+
+    /// Deduce the best parallelization plan for the observed straggler
+    /// situation.
+    pub fn plan(&self, snapshot: &ClusterSnapshot) -> Result<PlanOutcome, PlanError> {
+        self.plan_with_dp(snapshot, self.config.fixed_dp)
+    }
+
+    /// Re-planning entry point: keep the DP degree of the previous plan (the
+    /// memory footprint of ZeRO-1 sharding depends on DP, so the paper keeps it
+    /// fixed across adjustments).  If no feasible plan exists with that DP
+    /// degree — e.g. a severe straggler situation shrinks the usable groups —
+    /// fall back to an unconstrained search (footnote 2 of the paper notes that
+    /// enumerating other DP degrees is equally possible).
+    pub fn replan(
+        &self,
+        snapshot: &ClusterSnapshot,
+        previous: &ParallelizationPlan,
+    ) -> Result<PlanOutcome, PlanError> {
+        match self.plan_with_dp(snapshot, Some(previous.dp())) {
+            Ok(outcome) => Ok(outcome),
+            Err(_) => self.plan_with_dp(snapshot, self.config.fixed_dp),
+        }
+    }
+
+    fn dp_candidates(&self, forced_dp: Option<usize>, num_groups: usize) -> Vec<usize> {
+        if let Some(dp) = forced_dp {
+            return vec![dp];
+        }
+        if let Some(c) = &self.config.candidate_dp {
+            return c.clone();
+        }
+        let mut dps = Vec::new();
+        let mut dp = 1usize;
+        while dp <= num_groups && (dp as u64) <= self.config.global_batch_size {
+            dps.push(dp);
+            dp *= 2;
+        }
+        dps
+    }
+
+    fn plan_with_dp(
+        &self,
+        snapshot: &ClusterSnapshot,
+        forced_dp: Option<usize>,
+    ) -> Result<PlanOutcome, PlanError> {
+        let usable = snapshot.rates.iter().filter(|r| r.is_finite()).count();
+        if usable == 0 {
+            return Err(PlanError::NoUsableGpus);
+        }
+        let num_layers = self.cost.coeffs.spec.num_layers as u64;
+        let b_candidates: Vec<u64> = self
+            .config
+            .candidate_micro_batch_sizes
+            .iter()
+            .copied()
+            .filter(|&b| b > 0 && self.config.global_batch_size % b == 0)
+            .collect();
+        if b_candidates.is_empty() {
+            return Err(PlanError::NoFeasiblePlan {
+                reason: "no candidate micro-batch size divides the global batch".into(),
+            });
+        }
+
+        let mut timing = PlanTiming::default();
+        let mut best: Option<PlanOutcome> = None;
+        let mut last_failure = String::from("no candidate configuration was feasible");
+
+        for &max_tp in &self.config.candidate_tp_degrees {
+            let t0 = Instant::now();
+            let grouping = group_cluster(
+                snapshot,
+                &self.cost.coeffs,
+                max_tp,
+                1,
+                self.config.straggler_threshold,
+                self.config.enable_group_splitting,
+            );
+            timing.grouping += t0.elapsed();
+            if grouping.groups.is_empty() {
+                continue;
+            }
+
+            for dp in self.dp_candidates(forced_dp, grouping.groups.len()) {
+                if dp == 0 || dp > grouping.groups.len() {
+                    continue;
+                }
+                for &b in &b_candidates {
+                    let total_micro_batches = self.config.global_batch_size / b;
+                    if total_micro_batches < dp as u64 {
+                        continue;
+                    }
+                    // When non-uniform stages are enabled the MINLP division is
+                    // tried *in addition to* the uniform equal-count division,
+                    // so enabling the extra freedom can never hurt.
+                    let division_modes: &[bool] = if self.config.nonuniform_stages {
+                        &[true, false]
+                    } else {
+                        &[false]
+                    };
+                    for &nonuniform_division in division_modes {
+                        let t0 = Instant::now();
+                        let division = match divide_groups(
+                            &self.cost,
+                            &grouping,
+                            snapshot,
+                            dp,
+                            total_micro_batches,
+                            b,
+                            nonuniform_division,
+                        ) {
+                            Ok(d) => d,
+                            Err(e) => {
+                                last_failure = e.to_string();
+                                timing.division += t0.elapsed();
+                                continue;
+                            }
+                        };
+                        timing.division += t0.elapsed();
+
+                        let t0 = Instant::now();
+                        let mut assignments = Vec::with_capacity(dp);
+                        let mut feasible = true;
+                        for pipeline_groups in &division.pipelines {
+                            match order_and_assign_layers(
+                                &self.cost,
+                                pipeline_groups,
+                                snapshot,
+                                num_layers,
+                                b,
+                                dp as u32,
+                                !self.config.nonuniform_layers,
+                            ) {
+                                Some(a) => assignments.push(a),
+                                None => {
+                                    feasible = false;
+                                    break;
+                                }
+                            }
+                        }
+                        timing.ordering += t0.elapsed();
+                        if !feasible {
+                            last_failure = format!(
+                                "layer assignment infeasible for tp={max_tp} dp={dp} b={b}"
+                            );
+                            continue;
+                        }
+
+                        let t0 = Instant::now();
+                        let objectives: Vec<f64> =
+                            assignments.iter().map(|a| a.objective).collect();
+                        let Some(micro_batches) = assign_data(
+                            &objectives,
+                            total_micro_batches,
+                            !self.config.nonuniform_data,
+                        ) else {
+                            timing.assignment += t0.elapsed();
+                            continue;
+                        };
+                        // A pipeline with zero micro-batches would idle an entire
+                        // replica; reject such degenerate splits.
+                        if micro_batches.iter().any(|&m| m == 0) {
+                            timing.assignment += t0.elapsed();
+                            last_failure = format!(
+                                "data assignment starved a pipeline for tp={max_tp} dp={dp} b={b}"
+                            );
+                            continue;
+                        }
+                        timing.assignment += t0.elapsed();
+
+                        let pipelines: Vec<PipelinePlan> = assignments
+                            .iter()
+                            .zip(micro_batches.iter())
+                            .map(|(a, &m)| PipelinePlan {
+                                stages: a.stages.clone(),
+                                num_micro_batches: m,
+                            })
+                            .collect();
+
+                        let active: BTreeSet<GpuId> =
+                            pipelines.iter().flat_map(|p| p.gpus()).collect();
+                        let removed: Vec<GpuId> = (0..snapshot.num_gpus() as u32)
+                            .map(GpuId)
+                            .filter(|g| !active.contains(g))
+                            .collect();
+                        let plan = ParallelizationPlan {
+                            pipelines,
+                            micro_batch_size: b,
+                            removed_gpus: removed,
+                        };
+                        if plan
+                            .validate(num_layers as u32, self.config.global_batch_size)
+                            .is_err()
+                            || !self.cost.memory_feasible(&plan)
+                        {
+                            last_failure = format!(
+                                "candidate plan failed validation for tp={max_tp} dp={dp} b={b}"
+                            );
+                            continue;
+                        }
+
+                        let exact = self.cost.step_time(&plan, snapshot);
+                        let simplified = self.cost.step_time_simplified(&plan, snapshot);
+                        if best
+                            .as_ref()
+                            .map(|o| exact < o.estimated_step_time - 1e-12)
+                            .unwrap_or(true)
+                        {
+                            best = Some(PlanOutcome {
+                                plan,
+                                estimated_step_time: exact,
+                                estimated_step_time_simplified: simplified,
+                                chosen_tp: max_tp,
+                                dp,
+                                timing: PlanTiming::default(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some(mut outcome) => {
+                outcome.timing = timing;
+                Ok(outcome)
+            }
+            None => Err(PlanError::NoFeasiblePlan {
+                reason: last_failure,
+            }),
+        }
+    }
+}
+
+/// Convenience: collect the GPUs of a list of groups (used by callers that
+/// track standby devices explicitly).
+pub fn gpus_of_groups(groups: &[TpGroup]) -> Vec<GpuId> {
+    groups.iter().flat_map(|g| g.gpus.iter().copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleus_cluster::{Cluster, PaperSituation};
+    use malleus_model::{HardwareParams, ModelSpec};
+
+    fn planner(spec: ModelSpec, batch: u64) -> Planner {
+        let coeffs = ProfiledCoefficients::derive(spec, HardwareParams::a800_cluster());
+        Planner::new(
+            coeffs,
+            PlannerConfig {
+                global_batch_size: batch,
+                ..PlannerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn healthy_cluster_produces_megatron_like_plan() {
+        // 32 GPUs, 32B model: the planner should find a uniform 3D-parallel plan
+        // (equal stages, equal layers, equal data) because no stragglers exist.
+        let cluster = Cluster::homogeneous(4, 8);
+        let p = planner(ModelSpec::llama2_32b(), 64);
+        let outcome = p.plan(&cluster.snapshot()).expect("plan");
+        let plan = &outcome.plan;
+        plan.validate(60, 64).unwrap();
+        // Uniform data split.
+        let m: Vec<u64> = plan.pipelines.iter().map(|p| p.num_micro_batches).collect();
+        assert!(
+            m.iter().all(|&x| x == m[0]),
+            "data should be uniform: {m:?}"
+        );
+        // Uniform stage shape.
+        let pps: Vec<usize> = plan.pipelines.iter().map(|p| p.pp()).collect();
+        assert!(pps.iter().all(|&x| x == pps[0]));
+        assert!(plan.removed_gpus.is_empty());
+    }
+
+    #[test]
+    fn straggler_receives_less_work() {
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let sit = PaperSituation::S2.situation(&cluster);
+        cluster.apply_situation(&sit.rates);
+        let p = planner(ModelSpec::llama2_32b(), 64);
+        let outcome = p.plan(&cluster.snapshot()).expect("plan");
+        let plan = &outcome.plan;
+        plan.validate(60, 64).unwrap();
+        // The straggling GPU (gpu 0, x=5.42) either sits in a stage with fewer
+        // layers than its peers, or was removed entirely.
+        let straggler = GpuId(0);
+        let holds = plan.pipelines.iter().find_map(|pl| {
+            pl.stages
+                .iter()
+                .find(|s| s.group.gpus.contains(&straggler))
+                .map(|s| (s.layers, pl))
+        });
+        match holds {
+            None => assert!(plan.removed_gpus.contains(&straggler)),
+            Some((layers, pipeline)) => {
+                let max_layers = pipeline.stages.iter().map(|s| s.layers).max().unwrap();
+                assert!(
+                    layers < max_layers
+                        || pipeline.num_micro_batches
+                            < plan
+                                .pipelines
+                                .iter()
+                                .map(|p| p.num_micro_batches)
+                                .max()
+                                .unwrap(),
+                    "straggler must get fewer layers or its pipeline fewer micro-batches"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straggled_plan_is_faster_than_uniform_plan() {
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let sit = PaperSituation::S4.situation(&cluster);
+        cluster.apply_situation(&sit.rates);
+        let snapshot = cluster.snapshot();
+        let p = planner(ModelSpec::llama2_32b(), 64);
+        let outcome = p.plan(&snapshot).expect("plan");
+        // Compare against the uniform Megatron-style plan evaluated under the
+        // same cost model.
+        let gpus: Vec<GpuId> = (0..32).map(GpuId).collect();
+        let uniform = ParallelizationPlan::uniform(&gpus, 2, 4, 4, 60, 64, 1).unwrap();
+        let uniform_time = p.cost.step_time(&uniform, &snapshot);
+        assert!(
+            outcome.estimated_step_time < uniform_time * 0.75,
+            "malleus {} vs uniform {}",
+            outcome.estimated_step_time,
+            uniform_time
+        );
+    }
+
+    #[test]
+    fn replan_keeps_dp_degree() {
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let p = planner(ModelSpec::llama2_32b(), 64);
+        let initial = p.plan(&cluster.snapshot()).expect("initial plan");
+        let sit = PaperSituation::S1.situation(&cluster);
+        cluster.apply_situation(&sit.rates);
+        let replanned = p
+            .replan(&cluster.snapshot(), &initial.plan)
+            .expect("replan");
+        assert_eq!(replanned.dp, initial.plan.dp());
+    }
+
+    #[test]
+    fn failed_gpu_is_excluded_from_plan() {
+        let mut cluster = Cluster::homogeneous(4, 8);
+        cluster.set_rate(GpuId(5), f64::INFINITY);
+        let p = planner(ModelSpec::llama2_32b(), 64);
+        let outcome = p.plan(&cluster.snapshot()).expect("plan");
+        assert!(!outcome.plan.active_gpus().contains(&GpuId(5)));
+        assert!(outcome.plan.removed_gpus.contains(&GpuId(5)));
+    }
+
+    #[test]
+    fn timing_breakdown_is_populated() {
+        let cluster = Cluster::homogeneous(2, 8);
+        let p = planner(ModelSpec::llama2_13b(), 64);
+        let outcome = p.plan(&cluster.snapshot()).expect("plan");
+        assert!(outcome.timing.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn no_usable_gpus_is_an_error() {
+        let mut cluster = Cluster::homogeneous(1, 2);
+        cluster.set_rate(GpuId(0), f64::INFINITY);
+        cluster.set_rate(GpuId(1), f64::INFINITY);
+        let p = planner(ModelSpec::llama2_7b(), 8);
+        assert!(matches!(
+            p.plan(&cluster.snapshot()),
+            Err(PlanError::NoUsableGpus)
+        ));
+    }
+
+    #[test]
+    fn estimate_simplified_close_to_exact() {
+        let cluster = Cluster::homogeneous(4, 8);
+        let p = planner(ModelSpec::llama2_32b(), 64);
+        let outcome = p.plan(&cluster.snapshot()).expect("plan");
+        let ratio = outcome.estimated_step_time / outcome.estimated_step_time_simplified;
+        assert!(ratio >= 1.0 && ratio < 1.3, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Analytic compute-time model for transformer layers under tensor parallelism.
+//!
+//! These functions stand in for the paper's online profiler: they produce the
+//! per-layer forward/backward times `ζ_n(b)` from which `τ(b) = ζ_1(b)` and the
+//! efficiency coefficients `ρ_n = ζ_n / ζ_1` are derived (§4.2).
+
+use crate::profile::HardwareParams;
+use crate::spec::ModelSpec;
+
+/// Dense FLOPs of the forward pass of one transformer layer for a micro-batch
+/// of `b` sequences (matrix multiplies ≈ `2 · params · tokens`, plus the
+/// attention score/value products which scale with `s²`).
+pub fn layer_flops_forward(spec: &ModelSpec, micro_batch_size: u64) -> f64 {
+    let tokens = spec.tokens_per_micro_batch(micro_batch_size) as f64;
+    let dense = 2.0 * spec.params_per_layer() as f64 * tokens;
+    // QK^T and PV each cost 2·b·s²·h flops (softmax ignored).
+    let attn =
+        4.0 * micro_batch_size as f64 * (spec.seq_len as f64).powi(2) * spec.hidden_size as f64;
+    dense + attn
+}
+
+/// Bytes exchanged by one tensor-parallel all-reduce of the layer's activation
+/// (b × s × h, fp16).
+fn tp_allreduce_bytes(spec: &ModelSpec, micro_batch_size: u64) -> f64 {
+    (micro_batch_size * spec.seq_len * spec.hidden_size) as f64 * 2.0
+}
+
+/// Time of a ring all-reduce of `bytes` across `n` GPUs connected by NVLink.
+fn ring_allreduce_time(hardware: &HardwareParams, bytes: f64, n: u32) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * (n - 1.0) / n * bytes / hardware.intra_node_bandwidth + hardware.collective_latency
+}
+
+/// Forward+backward time of one transformer layer on a TP group of `tp_degree`
+/// non-straggling GPUs (`ζ_n(b)` in the paper), in seconds.
+///
+/// The backward pass is modelled as 2× the forward compute (activation and
+/// weight gradients).  Tensor parallelism requires two all-reduces in the
+/// forward pass (attention output, MLP output) and two in the backward pass.
+pub fn layer_time_forward_backward(
+    spec: &ModelSpec,
+    hardware: &HardwareParams,
+    micro_batch_size: u64,
+    tp_degree: u32,
+) -> f64 {
+    assert!(tp_degree >= 1, "tensor-parallel degree must be at least 1");
+    let flops_fwd = layer_flops_forward(spec, micro_batch_size);
+    let compute = 3.0 * flops_fwd / (tp_degree as f64 * hardware.effective_flops());
+    let comm = 4.0
+        * ring_allreduce_time(
+            hardware,
+            tp_allreduce_bytes(spec, micro_batch_size),
+            tp_degree,
+        );
+    compute + comm
+}
+
+/// `ρ_n` of §4.2: `ζ_n / max_n' ζ_n' = ζ_n / ζ_1` (a single GPU is always the
+/// slowest way to run a layer, so the maximum is attained at `n = 1`).
+pub fn tensor_parallel_rho(
+    spec: &ModelSpec,
+    hardware: &HardwareParams,
+    micro_batch_size: u64,
+    tp_degree: u32,
+) -> f64 {
+    let zeta_n = layer_time_forward_backward(spec, hardware, micro_batch_size, tp_degree);
+    let zeta_1 = layer_time_forward_backward(spec, hardware, micro_batch_size, 1);
+    zeta_n / zeta_1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_flops_scale_linearly_with_micro_batch() {
+        let spec = ModelSpec::llama2_32b();
+        let f1 = layer_flops_forward(&spec, 1);
+        let f4 = layer_flops_forward(&spec, 4);
+        assert!((f4 / f1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_time_decreases_with_tp_but_sublinearly() {
+        let spec = ModelSpec::llama2_70b();
+        let hw = HardwareParams::a800_cluster();
+        let t1 = layer_time_forward_backward(&spec, &hw, 1, 1);
+        let t8 = layer_time_forward_backward(&spec, &hw, 1, 8);
+        assert!(t8 < t1);
+        assert!(t8 > t1 / 8.0, "communication must make TP-8 sublinear");
+    }
+
+    #[test]
+    fn rho_matches_paper_shape() {
+        // The paper's ρ table (profiled on A800s) has ρ_1 = 1 and strictly
+        // decreasing values that stay above the ideal 1/n.
+        let spec = ModelSpec::llama2_110b();
+        let hw = HardwareParams::a800_cluster();
+        let rho: Vec<f64> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&n| tensor_parallel_rho(&spec, &hw, 1, n))
+            .collect();
+        assert!((rho[0] - 1.0).abs() < 1e-12);
+        for w in rho.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        assert!(rho[3] > 0.125 && rho[3] < 0.35, "rho_8 = {}", rho[3]);
+    }
+
+    #[test]
+    fn single_gpu_70b_layer_time_is_plausible() {
+        // One 70B layer forward+backward for 4096 tokens on an A800 should take
+        // on the order of tens of milliseconds.
+        let spec = ModelSpec::llama2_70b();
+        let hw = HardwareParams::a800_cluster();
+        let t = layer_time_forward_backward(&spec, &hw, 1, 1);
+        assert!(t > 0.005 && t < 0.2, "got {t} s");
+    }
+}

@@ -1,0 +1,27 @@
+//! `malleus-model` — analytic descriptions of the large language models and the
+//! hardware coefficients the Malleus planner consumes.
+//!
+//! The Malleus planner never touches tensors: it only needs a handful of
+//! *profiled scalars* per model and hardware platform —
+//!
+//! * `τ(b)` — forward+backward time of one transformer layer on a single
+//!   non-straggling GPU with micro-batch size `b`,
+//! * `ρ_n` — efficiency coefficient of a tensor-parallel group of `n` GPUs,
+//! * `μ`, `ν`, `C` — the per-stage memory model of Appendix B.4,
+//! * byte counts for model states, activations and gradients used by the
+//!   migration and gradient-synchronization simulators.
+//!
+//! The original system profiles these online; this reproduction derives them
+//! analytically from the model architecture ([`spec::ModelSpec`]) and a
+//! hardware description ([`profile::HardwareParams`]), which plays the role of
+//! the paper's offline profiler.
+
+pub mod compute;
+pub mod memory;
+pub mod profile;
+pub mod spec;
+
+pub use compute::{layer_flops_forward, layer_time_forward_backward, tensor_parallel_rho};
+pub use memory::MemoryModel;
+pub use profile::{HardwareParams, ProfiledCoefficients};
+pub use spec::ModelSpec;

@@ -1,0 +1,150 @@
+//! The executor (§5.1): plan instantiation, training-step execution and
+//! on-the-fly model migration.
+
+use malleus_cluster::ClusterSnapshot;
+use malleus_core::{plan_migration, ParallelizationPlan};
+use malleus_model::ProfiledCoefficients;
+use malleus_sim::{migration_time, MigrationCost, OomError, StepReport, TrainingSimulator};
+
+/// The training executor: owns the currently instantiated plan and runs steps
+/// against the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    /// The training simulator (stands in for the Hetu execution engine).
+    pub simulator: TrainingSimulator,
+    current_plan: Option<ParallelizationPlan>,
+}
+
+impl Executor {
+    /// Create an executor.
+    pub fn new(coeffs: ProfiledCoefficients) -> Self {
+        Self {
+            simulator: TrainingSimulator::new(coeffs),
+            current_plan: None,
+        }
+    }
+
+    /// The currently instantiated plan, if any.
+    pub fn current_plan(&self) -> Option<&ParallelizationPlan> {
+        self.current_plan.as_ref()
+    }
+
+    /// Instantiate an initial plan (model states are materialized from the
+    /// checkpoint / initializer, so there is no migration cost).
+    pub fn instantiate(&mut self, plan: ParallelizationPlan) {
+        self.current_plan = Some(plan);
+    }
+
+    /// Adopt a new plan by migrating the model states on the fly.  Returns the
+    /// migration cost (zero when the plan is unchanged).
+    pub fn migrate_to(
+        &mut self,
+        new_plan: ParallelizationPlan,
+        snapshot: &ClusterSnapshot,
+    ) -> MigrationCost {
+        let coeffs = self.simulator.coeffs();
+        let cost = match &self.current_plan {
+            Some(old) if *old != new_plan => {
+                let migration = plan_migration(old, &new_plan, coeffs);
+                migration_time(coeffs, snapshot, &migration)
+            }
+            _ => MigrationCost {
+                time: 0.0,
+                total_bytes: 0.0,
+                messages: 0,
+            },
+        };
+        self.current_plan = Some(new_plan);
+        cost
+    }
+
+    /// Run one training step with the current plan.
+    ///
+    /// # Panics
+    /// Panics if no plan has been instantiated.
+    pub fn train_step(&self, snapshot: &ClusterSnapshot) -> Result<StepReport, OomError> {
+        let plan = self
+            .current_plan
+            .as_ref()
+            .expect("executor has no instantiated plan");
+        self.simulator.step(plan, snapshot)
+    }
+
+    /// Whether the current plan can still run: every active GPU must be alive.
+    pub fn plan_runnable(&self, snapshot: &ClusterSnapshot) -> bool {
+        match &self.current_plan {
+            None => false,
+            Some(plan) => plan
+                .active_gpus()
+                .iter()
+                .all(|g| snapshot.rate(*g).is_finite()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleus_cluster::{Cluster, GpuId};
+    use malleus_model::{HardwareParams, ModelSpec};
+
+    fn executor() -> Executor {
+        Executor::new(ProfiledCoefficients::derive(
+            ModelSpec::llama2_32b(),
+            HardwareParams::a800_cluster(),
+        ))
+    }
+
+    fn plan(gpus: std::ops::Range<u32>) -> ParallelizationPlan {
+        let ids: Vec<GpuId> = gpus.map(GpuId).collect();
+        ParallelizationPlan::uniform(&ids, 2, 4, 4, 60, 64, 1).unwrap()
+    }
+
+    #[test]
+    fn instantiate_then_train() {
+        let mut ex = executor();
+        let cluster = Cluster::homogeneous(4, 8);
+        ex.instantiate(plan(0..32));
+        let report = ex.train_step(&cluster.snapshot()).unwrap();
+        assert!(report.step_time > 0.0);
+        assert!(ex.plan_runnable(&cluster.snapshot()));
+    }
+
+    #[test]
+    fn migrating_to_the_same_plan_is_free() {
+        let mut ex = executor();
+        let cluster = Cluster::homogeneous(4, 8);
+        ex.instantiate(plan(0..32));
+        let cost = ex.migrate_to(plan(0..32), &cluster.snapshot());
+        assert_eq!(cost.time, 0.0);
+    }
+
+    #[test]
+    fn migrating_to_a_different_plan_costs_time() {
+        let mut ex = executor();
+        let cluster = Cluster::homogeneous(8, 8);
+        ex.instantiate(plan(0..32));
+        let cost = ex.migrate_to(plan(32..64), &cluster.snapshot());
+        assert!(cost.time > 0.0);
+        assert!(cost.total_bytes > 0.0);
+        // The paper reports migrations of a few seconds.
+        assert!(cost.time < 60.0, "migration took {}", cost.time);
+    }
+
+    #[test]
+    fn failed_gpu_makes_plan_unrunnable() {
+        let mut ex = executor();
+        let mut cluster = Cluster::homogeneous(4, 8);
+        ex.instantiate(plan(0..32));
+        cluster.set_rate(GpuId(5), f64::INFINITY);
+        assert!(!ex.plan_runnable(&cluster.snapshot()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no instantiated plan")]
+    fn training_without_a_plan_panics() {
+        let ex = executor();
+        let cluster = Cluster::homogeneous(4, 8);
+        let _ = ex.train_step(&cluster.snapshot());
+    }
+}

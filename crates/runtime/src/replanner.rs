@@ -1,0 +1,99 @@
+//! Asynchronous re-planning (§5.3).
+//!
+//! When the profiler reports a shift, Malleus keeps training with the current
+//! plan while the planning algorithm runs on background CPU processes.  Only if
+//! planning takes longer than the current training step does the job stall for
+//! the remainder.  In the paper's experiments the planning time (10–30 s) is
+//! always hidden behind one training step; the reproduction computes its own
+//! planner wall-clock time and applies the same overlap rule.
+
+use malleus_cluster::ClusterSnapshot;
+use malleus_core::{ParallelizationPlan, PlanError, PlanOutcome, Planner};
+use serde::{Deserialize, Serialize};
+
+/// Result of an overlapped re-planning round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanOutcome {
+    /// The planner's output.
+    pub outcome: PlanOutcome,
+    /// Wall-clock planning time in seconds.
+    pub planning_time: f64,
+    /// Seconds of training stall not hidden by the overlap (usually zero).
+    pub stall_time: f64,
+    /// Whether the new plan differs from the previous one.
+    pub plan_changed: bool,
+}
+
+/// Run the planner for the observed rates, overlapping the planning time with
+/// one training step of `current_step_time` seconds.
+pub fn replan_overlapped(
+    planner: &Planner,
+    snapshot: &ClusterSnapshot,
+    previous: &ParallelizationPlan,
+    current_step_time: f64,
+) -> Result<ReplanOutcome, PlanError> {
+    let outcome = planner.replan(snapshot, previous)?;
+    let planning_time = outcome.timing.total().as_secs_f64();
+    let stall_time = (planning_time - current_step_time).max(0.0);
+    let plan_changed = outcome.plan != *previous;
+    Ok(ReplanOutcome {
+        outcome,
+        planning_time,
+        stall_time,
+        plan_changed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleus_cluster::{Cluster, GpuId};
+    use malleus_core::PlannerConfig;
+    use malleus_model::{HardwareParams, ModelSpec, ProfiledCoefficients};
+
+    fn planner() -> Planner {
+        Planner::new(
+            ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster()),
+            PlannerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn planning_is_hidden_behind_a_training_step() {
+        let p = planner();
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let initial = p.plan(&cluster.snapshot()).unwrap();
+        cluster.set_rate(GpuId(0), 5.42);
+        let replan = replan_overlapped(&p, &cluster.snapshot(), &initial.plan, 12.0).unwrap();
+        assert!(replan.plan_changed);
+        assert!(
+            replan.planning_time < 12.0,
+            "planning {}",
+            replan.planning_time
+        );
+        assert_eq!(replan.stall_time, 0.0);
+    }
+
+    #[test]
+    fn unchanged_situation_can_keep_the_same_plan() {
+        let p = planner();
+        let cluster = Cluster::homogeneous(4, 8);
+        let initial = p.plan(&cluster.snapshot()).unwrap();
+        let replan = replan_overlapped(&p, &cluster.snapshot(), &initial.plan, 12.0).unwrap();
+        // With identical rates the planner should find a plan no better than
+        // the current one; whether the exact plan object matches is not
+        // guaranteed, but the estimated time must not regress.
+        assert!(replan.outcome.estimated_step_time <= initial.estimated_step_time * 1.01);
+    }
+
+    #[test]
+    fn stall_is_charged_when_step_time_is_tiny() {
+        let p = planner();
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let initial = p.plan(&cluster.snapshot()).unwrap();
+        cluster.set_rate(GpuId(0), 2.57);
+        let replan = replan_overlapped(&p, &cluster.snapshot(), &initial.plan, 0.0).unwrap();
+        assert!(replan.stall_time > 0.0);
+        assert!((replan.stall_time - replan.planning_time).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,367 @@
+//! End-to-end training sessions over a straggler trace.
+//!
+//! A [`TrainingSession`] reproduces the overall routine of §3.2: train with the
+//! current plan, let the profiler watch per-GPU efficiency, trigger overlapped
+//! re-planning when a >5% shift is detected, migrate the model states, and keep
+//! going.  Failures (infinite rates on active GPUs) fall back to the
+//! checkpoint-restart path with the failed GPUs excluded (§5.1).
+//!
+//! The session produces one [`PhaseReport`] per trace phase; the end-to-end
+//! experiments (Figure 7 / Table 2 / Figure 8) are tabulated directly from
+//! these reports.
+
+use crate::executor::Executor;
+use crate::profiler::Profiler;
+use crate::replanner::replan_overlapped;
+use malleus_cluster::{Cluster, ClusterSnapshot, Trace};
+use malleus_core::{PlanError, Planner, PlannerConfig};
+use malleus_model::ProfiledCoefficients;
+use malleus_sim::restart_time;
+use serde::{Deserialize, Serialize};
+
+/// Errors produced while driving a training session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RuntimeError {
+    /// The planner could not produce any feasible plan.
+    Planning(String),
+    /// The executor ran out of memory with a plan that passed planning checks.
+    OutOfMemory(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Planning(e) => write!(f, "planning failed: {e}"),
+            RuntimeError::OutOfMemory(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<PlanError> for RuntimeError {
+    fn from(e: PlanError) -> Self {
+        RuntimeError::Planning(e.to_string())
+    }
+}
+
+/// Per-phase summary of a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Name of the straggler situation (e.g. `"S3"`).
+    pub situation: String,
+    /// Number of training iterations in the phase.
+    pub steps: u32,
+    /// Steady-state step time with the adapted plan (seconds).
+    pub step_time: f64,
+    /// Step time measured with the *previous* plan right after the shift (what
+    /// the job would keep paying without re-planning).
+    pub step_time_before_adaptation: f64,
+    /// Planner's estimated step time for the adapted plan.
+    pub estimated_step_time: f64,
+    /// Whether re-planning was triggered during this phase.
+    pub replanned: bool,
+    /// Planning wall-clock time (overlapped with training).
+    pub planning_time: f64,
+    /// Training stall not hidden by the overlap.
+    pub stall_time: f64,
+    /// Model-state migration time paid when adopting the new plan.
+    pub migration_time: f64,
+    /// Checkpoint-restart time paid (only on failure recovery).
+    pub restart_time: f64,
+    /// MFU of the adapted plan during this phase.
+    pub mfu: f64,
+    /// Data-parallel degree of the adapted plan.
+    pub dp: usize,
+    /// Number of standby (removed) GPUs under the adapted plan.
+    pub standby_gpus: usize,
+    /// Human-readable description of the adapted plan.
+    pub plan_description: String,
+}
+
+/// Full session report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// One report per trace phase.
+    pub phases: Vec<PhaseReport>,
+    /// Total wall-clock training time across the trace (steady-state steps plus
+    /// transition costs).
+    pub total_time: f64,
+}
+
+impl SessionReport {
+    /// Average step time across all phases, weighted by step counts.
+    pub fn average_step_time(&self) -> f64 {
+        let steps: f64 = self.phases.iter().map(|p| p.steps as f64).sum();
+        if steps == 0.0 {
+            return 0.0;
+        }
+        self.phases
+            .iter()
+            .map(|p| p.step_time * p.steps as f64)
+            .sum::<f64>()
+            / steps
+    }
+}
+
+/// A Malleus training session: planner + executor + profiler over a cluster.
+#[derive(Debug, Clone)]
+pub struct TrainingSession {
+    /// The parallelization planner.
+    pub planner: Planner,
+    /// The executor.
+    pub executor: Executor,
+    /// The profiler.
+    pub profiler: Profiler,
+    /// The simulated cluster (true straggling rates live here).
+    pub cluster: Cluster,
+}
+
+impl TrainingSession {
+    /// Create a session.
+    pub fn new(coeffs: ProfiledCoefficients, config: PlannerConfig, cluster: Cluster) -> Self {
+        Self {
+            planner: Planner::new(coeffs.clone(), config),
+            executor: Executor::new(coeffs),
+            profiler: Profiler::default(),
+            cluster,
+        }
+    }
+
+    /// Observed snapshot: what the profiler believes (here: true rates, since
+    /// the simulator's measurements are exact).
+    fn observed(&self) -> ClusterSnapshot {
+        self.cluster.snapshot()
+    }
+
+    /// Run the session over a trace.
+    pub fn run(&mut self, trace: &Trace) -> Result<SessionReport, RuntimeError> {
+        let mut phases = Vec::with_capacity(trace.phases.len());
+        let mut total_time = 0.0;
+
+        // Initial plan: deduced with the rates of the first phase's situation
+        // already applied?  No — the paper starts from the healthy-cluster plan
+        // and adapts; we instantiate with whatever the cluster currently shows.
+        if let Some(first) = trace.phases.first() {
+            self.cluster.apply_situation(&first.situation.rates);
+        }
+        let initial = self.planner.plan(&self.observed())?;
+        self.executor.instantiate(initial.plan.clone());
+
+        for (index, phase) in trace.phases.iter().enumerate() {
+            self.cluster.apply_situation(&phase.situation.rates);
+            let snapshot = self.observed();
+
+            // One detection step with the current (old) plan, if it can run.
+            let mut restart_cost = 0.0;
+            let mut step_before = f64::NAN;
+            let runnable = self.executor.plan_runnable(&snapshot);
+            if runnable {
+                let report = self
+                    .executor
+                    .train_step(&snapshot)
+                    .map_err(|e| RuntimeError::OutOfMemory(e.to_string()))?;
+                step_before = report.step_time;
+                self.profiler.observe(&report, &snapshot);
+            } else {
+                // Failure: recover from the latest checkpoint on the surviving
+                // GPUs (the straggling rate of the failed GPUs is infinite, so
+                // the planner excludes them).
+                restart_cost = restart_time(&self.planner.cost.coeffs, snapshot.num_nodes);
+                self.profiler.reset();
+            }
+
+            // Re-plan when the situation differs from what the current plan was
+            // built for (first phase keeps the freshly planned initial plan).
+            let mut replanned = false;
+            let mut planning_time = 0.0;
+            let mut stall_time = 0.0;
+            let mut migration_time = 0.0;
+            let mut estimated = initial.estimated_step_time;
+            if index > 0 || !runnable {
+                let previous = self
+                    .executor
+                    .current_plan()
+                    .expect("executor always holds a plan after instantiate")
+                    .clone();
+                let replan = replan_overlapped(
+                    &self.planner,
+                    &snapshot,
+                    &previous,
+                    if step_before.is_finite() {
+                        step_before
+                    } else {
+                        0.0
+                    },
+                )?;
+                replanned = true;
+                planning_time = replan.planning_time;
+                stall_time = replan.stall_time;
+                estimated = replan.outcome.estimated_step_time;
+                if replan.plan_changed {
+                    let cost = self.executor.migrate_to(replan.outcome.plan, &snapshot);
+                    migration_time = cost.time;
+                }
+            }
+
+            // Steady-state steps with the adapted plan.
+            let report = self
+                .executor
+                .train_step(&snapshot)
+                .map_err(|e| RuntimeError::OutOfMemory(e.to_string()))?;
+            self.profiler.observe(&report, &snapshot);
+            let plan = self.executor.current_plan().unwrap();
+            let phase_time = report.step_time * phase.iterations as f64
+                + migration_time
+                + stall_time
+                + restart_cost;
+            total_time += phase_time;
+
+            phases.push(PhaseReport {
+                situation: phase.situation.name.clone(),
+                steps: phase.iterations,
+                step_time: report.step_time,
+                step_time_before_adaptation: if step_before.is_finite() {
+                    step_before
+                } else {
+                    report.step_time
+                },
+                estimated_step_time: estimated,
+                replanned,
+                planning_time,
+                stall_time,
+                migration_time,
+                restart_time: restart_cost,
+                mfu: report.mfu,
+                dp: plan.dp(),
+                standby_gpus: plan.removed_gpus.len(),
+                plan_description: plan.describe(&snapshot),
+            });
+        }
+
+        Ok(SessionReport { phases, total_time })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleus_cluster::{GpuId, PaperSituation, Situation, TracePhase};
+    use malleus_model::{HardwareParams, ModelSpec};
+
+    fn session(cluster: Cluster) -> TrainingSession {
+        let coeffs =
+            ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+        TrainingSession::new(coeffs, PlannerConfig::default(), cluster)
+    }
+
+    fn short_trace(cluster: &Cluster, situations: &[PaperSituation]) -> Trace {
+        Trace {
+            phases: situations
+                .iter()
+                .map(|s| TracePhase {
+                    situation: s.situation(cluster),
+                    iterations: 5,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn session_adapts_to_a_straggler_and_recovers() {
+        let cluster = Cluster::homogeneous(4, 8);
+        let trace = short_trace(
+            &cluster,
+            &[
+                PaperSituation::Normal,
+                PaperSituation::S2,
+                PaperSituation::Normal,
+            ],
+        );
+        let mut s = session(cluster);
+        let report = s.run(&trace).expect("session");
+        assert_eq!(report.phases.len(), 3);
+        let normal = &report.phases[0];
+        let straggled = &report.phases[1];
+        let recovered = &report.phases[2];
+        // Without adaptation the straggler would roughly multiply the step time;
+        // with adaptation the loss must stay well below the straggling rate.
+        assert!(straggled.replanned);
+        assert!(straggled.step_time < straggled.step_time_before_adaptation * 0.7);
+        assert!(straggled.step_time < normal.step_time * 2.0);
+        // After the straggler disappears the step time returns close to normal.
+        assert!((recovered.step_time - normal.step_time).abs() / normal.step_time < 0.1);
+        // Migration happened and was cheap relative to a restart.
+        assert!(straggled.migration_time > 0.0);
+        assert!(straggled.migration_time < 60.0);
+        assert_eq!(straggled.restart_time, 0.0);
+    }
+
+    #[test]
+    fn session_handles_gpu_failure_with_restart() {
+        let cluster = Cluster::homogeneous(4, 8);
+        let mut failure = Situation::normal();
+        failure.name = "failure".to_string();
+        failure.rates = vec![(GpuId(3), f64::INFINITY)];
+        let trace = Trace {
+            phases: vec![
+                TracePhase {
+                    situation: Situation::normal(),
+                    iterations: 3,
+                },
+                TracePhase {
+                    situation: failure,
+                    iterations: 3,
+                },
+            ],
+        };
+        let mut s = session(cluster);
+        let report = s.run(&trace).expect("session");
+        let failed_phase = &report.phases[1];
+        assert!(failed_phase.restart_time > 0.0);
+        assert!(failed_phase.standby_gpus >= 1);
+        assert!(failed_phase.step_time.is_finite());
+    }
+
+    #[test]
+    fn average_step_time_is_step_weighted() {
+        let report = SessionReport {
+            phases: vec![
+                PhaseReport {
+                    situation: "a".into(),
+                    steps: 1,
+                    step_time: 10.0,
+                    step_time_before_adaptation: 10.0,
+                    estimated_step_time: 10.0,
+                    replanned: false,
+                    planning_time: 0.0,
+                    stall_time: 0.0,
+                    migration_time: 0.0,
+                    restart_time: 0.0,
+                    mfu: 0.5,
+                    dp: 2,
+                    standby_gpus: 0,
+                    plan_description: String::new(),
+                },
+                PhaseReport {
+                    situation: "b".into(),
+                    steps: 3,
+                    step_time: 20.0,
+                    step_time_before_adaptation: 20.0,
+                    estimated_step_time: 20.0,
+                    replanned: false,
+                    planning_time: 0.0,
+                    stall_time: 0.0,
+                    migration_time: 0.0,
+                    restart_time: 0.0,
+                    mfu: 0.5,
+                    dp: 2,
+                    standby_gpus: 0,
+                    plan_description: String::new(),
+                },
+            ],
+            total_time: 70.0,
+        };
+        assert!((report.average_step_time() - 17.5).abs() < 1e-12);
+    }
+}

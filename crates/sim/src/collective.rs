@@ -1,0 +1,142 @@
+//! Communication-time models for the collectives used in hybrid-parallel
+//! training.
+//!
+//! All models are standard α–β (latency–bandwidth) estimates: a ring collective
+//! over `n` participants moves `2(n−1)/n · bytes` (all-reduce) or
+//! `(n−1)/n · bytes` (reduce-scatter / all-gather) over the slowest link on the
+//! ring.  The link bandwidth is NVLink when every participant shares a node and
+//! InfiniBand otherwise.
+
+use malleus_cluster::{ClusterSnapshot, GpuId};
+use malleus_model::HardwareParams;
+
+/// Pick the bandwidth of the slowest link among a set of participants: NVLink
+/// if they are all on one node, otherwise the inter-node fabric.
+pub fn group_bandwidth(hw: &HardwareParams, snapshot: &ClusterSnapshot, gpus: &[GpuId]) -> f64 {
+    let mut nodes = gpus.iter().map(|g| snapshot.node_of(*g));
+    match nodes.next() {
+        None => hw.intra_node_bandwidth,
+        Some(first) => {
+            if nodes.all(|n| n == first) {
+                hw.intra_node_bandwidth
+            } else {
+                hw.inter_node_bandwidth
+            }
+        }
+    }
+}
+
+/// Ring all-reduce time of `bytes` across `n` participants.
+pub fn allreduce_time(hw: &HardwareParams, bytes: f64, n: usize, bandwidth: f64) -> f64 {
+    if n <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * (n - 1.0) / n * bytes / bandwidth + hw.collective_latency
+}
+
+/// Ring reduce-scatter (or all-gather) time of `bytes` across `n` participants.
+pub fn reduce_scatter_time(hw: &HardwareParams, bytes: f64, n: usize, bandwidth: f64) -> f64 {
+    if n <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    (n - 1.0) / n * bytes / bandwidth + hw.collective_latency
+}
+
+/// Point-to-point transfer time of `bytes` between two GPUs.
+pub fn p2p_time(
+    hw: &HardwareParams,
+    snapshot: &ClusterSnapshot,
+    src: GpuId,
+    dst: GpuId,
+    bytes: f64,
+) -> f64 {
+    if src == dst || bytes <= 0.0 {
+        return 0.0;
+    }
+    let bandwidth = if snapshot.node_of(src) == snapshot.node_of(dst) {
+        hw.intra_node_bandwidth
+    } else {
+        hw.inter_node_bandwidth
+    };
+    bytes / bandwidth + hw.collective_latency
+}
+
+/// Time for a batched send-recv where each GPU `g` sends `out[g]` and receives
+/// `in[g]` bytes, with `messages` fused message launches (§5.1 packs 4 layers
+/// per message).  Transfers proceed in parallel; the busiest GPU's traffic over
+/// the inter-node fabric bounds the time.
+pub fn batched_send_recv_time(
+    hw: &HardwareParams,
+    per_gpu_bytes: &[(f64, f64)],
+    messages: usize,
+) -> f64 {
+    let busiest = per_gpu_bytes
+        .iter()
+        .map(|(received, sent)| received + sent)
+        .fold(0.0, f64::max);
+    if busiest <= 0.0 {
+        return 0.0;
+    }
+    busiest / hw.inter_node_bandwidth + messages as f64 * hw.collective_latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleus_cluster::Cluster;
+
+    fn hw() -> HardwareParams {
+        HardwareParams::a800_cluster()
+    }
+
+    #[test]
+    fn bandwidth_depends_on_node_locality() {
+        let snapshot = Cluster::homogeneous(2, 8).snapshot();
+        let intra = group_bandwidth(&hw(), &snapshot, &[GpuId(0), GpuId(1)]);
+        let inter = group_bandwidth(&hw(), &snapshot, &[GpuId(0), GpuId(8)]);
+        assert!(intra > inter);
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes_and_saturates_with_n() {
+        let h = hw();
+        let t1 = allreduce_time(&h, 1e9, 8, h.intra_node_bandwidth);
+        let t2 = allreduce_time(&h, 2e9, 8, h.intra_node_bandwidth);
+        assert!(t2 > t1 * 1.9);
+        // All-reduce over 1 GPU is free.
+        assert_eq!(allreduce_time(&h, 1e9, 1, h.intra_node_bandwidth), 0.0);
+        // The 2(n-1)/n factor approaches 2 from below.
+        let t64 = allreduce_time(&h, 1e9, 64, h.intra_node_bandwidth);
+        assert!(t64 < 2.0 * 1e9 / h.intra_node_bandwidth + 1e-3);
+    }
+
+    #[test]
+    fn reduce_scatter_is_cheaper_than_allreduce() {
+        let h = hw();
+        assert!(
+            reduce_scatter_time(&h, 1e9, 8, h.inter_node_bandwidth)
+                < allreduce_time(&h, 1e9, 8, h.inter_node_bandwidth)
+        );
+    }
+
+    #[test]
+    fn p2p_prefers_nvlink_within_a_node() {
+        let h = hw();
+        let snapshot = Cluster::homogeneous(2, 8).snapshot();
+        let same = p2p_time(&h, &snapshot, GpuId(0), GpuId(1), 1e8);
+        let cross = p2p_time(&h, &snapshot, GpuId(0), GpuId(8), 1e8);
+        assert!(same < cross);
+        assert_eq!(p2p_time(&h, &snapshot, GpuId(0), GpuId(0), 1e8), 0.0);
+    }
+
+    #[test]
+    fn batched_send_recv_bounded_by_busiest_gpu() {
+        let h = hw();
+        let traffic = vec![(1e9, 0.0), (0.0, 1e9), (5e8, 5e8)];
+        let t = batched_send_recv_time(&h, &traffic, 4);
+        assert!(t >= 1e9 / h.inter_node_bandwidth);
+        assert_eq!(batched_send_recv_time(&h, &[], 0), 0.0);
+    }
+}

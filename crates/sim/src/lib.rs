@@ -1,0 +1,35 @@
+//! `malleus-sim` — a deterministic simulator of hybrid-parallel LLM training.
+//!
+//! The original Malleus system executes real training on 64 A800 GPUs through
+//! the Hetu deep-learning system.  This crate substitutes that execution
+//! substrate with an analytic / event-driven simulator so the reproduction can
+//! run anywhere: given a [`malleus_core::ParallelizationPlan`], the current
+//! per-GPU straggling rates and the profiled model coefficients, it produces a
+//! per-step [`step::StepReport`] containing the step time, per-GPU busy times
+//! (consumed by the profiler), peak memory, and MFU.
+//!
+//! Components:
+//!
+//! * [`collective`] — time models for ring all-reduce, reduce-scatter,
+//!   all-gather, point-to-point activation transfers and batched send-recv;
+//! * [`pipeline`] — an event-driven 1F1B schedule simulator honouring
+//!   non-uniform stages, layers and micro-batch counts;
+//! * [`step`] — a full training step (pipelines + ZeRO-1 gradient
+//!   synchronization + optimizer update) plus MFU accounting;
+//! * [`memory`] — per-GPU peak-memory accounting and OOM detection;
+//! * [`migration`] — migration and checkpoint/restart time models (§5.1, §7.2);
+//! * [`zero3`] — a DeepSpeed-style ZeRO-3 (fully-sharded data parallel)
+//!   execution model used by the baseline comparison.
+
+pub mod collective;
+pub mod memory;
+pub mod migration;
+pub mod pipeline;
+pub mod step;
+pub mod zero3;
+
+pub use memory::{MemoryReport, OomError};
+pub use migration::{migration_time, restart_time, MigrationCost};
+pub use pipeline::PipelineSim;
+pub use step::{simulate_step, StepReport, TrainingSimulator};
+pub use zero3::{simulate_zero3_step, Zero3Config};

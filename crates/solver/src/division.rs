@@ -1,0 +1,409 @@
+//! Pipeline-division solver (Eq. (4) of the paper).
+//!
+//! After GPU grouping, the planner must split the tensor-parallel groups across
+//! `DP` training pipelines and decide how many micro-batches each pipeline
+//! receives.  Most groups share the majority straggling rate `ŷ` ("fast"
+//! groups) while a handful of groups are slower ("slow" groups).  The paper
+//! formulates the division as a MINLP over
+//!
+//! * `h_i ∈ ℕ` — number of fast groups in pipeline `i`,
+//! * `q_{i,k} ∈ {0,1}` — whether slow group `k` lands in pipeline `i`,
+//! * `m_i ∈ ℕ` — micro-batches of pipeline `i`,
+//!
+//! minimizing `max_i m_i / W_i` where `W_i = h_i / ŷ + Σ_k q_{i,k} / y_k` is the
+//! relaxed per-pipeline throughput (harmonic capacity of its groups).
+//!
+//! The solver enumerates slow-group assignments exactly when the search space
+//! is small (the common case: at most a handful of slow groups) and falls back
+//! to a deterministic local search otherwise (used by the 1024-GPU scalability
+//! experiment of Appendix A.2).  Fast groups are then distributed greedily to
+//! balance the capacities, and micro-batches are split with the exact min-max
+//! allocator.
+
+use crate::minmax::solve_minmax_allocation;
+use crate::relax::harmonic_capacity;
+use serde::{Deserialize, Serialize};
+
+/// Input description of a pipeline-division problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DivisionProblem {
+    /// Number of pipelines (the data-parallel degree).
+    pub dp: usize,
+    /// Number of "fast" (majority-rate) groups available.
+    pub fast_count: usize,
+    /// The majority group straggling rate `ŷ`.
+    pub fast_rate: f64,
+    /// Straggling rates of the slow groups.
+    pub slow_rates: Vec<f64>,
+    /// Total number of micro-batches to distribute (`B / b`).
+    pub num_micro_batches: u64,
+    /// Minimum number of groups each pipeline must receive (each pipeline needs
+    /// at least one stage; memory considerations can raise this bound).
+    pub min_groups_per_pipeline: usize,
+    /// Upper bound on enumeration work before switching to local search.
+    pub exact_enumeration_limit: u64,
+}
+
+impl DivisionProblem {
+    /// Convenience constructor with sensible defaults for the enumeration limit
+    /// and the one-group-per-pipeline lower bound.
+    pub fn new(
+        dp: usize,
+        fast_count: usize,
+        fast_rate: f64,
+        slow_rates: Vec<f64>,
+        num_micro_batches: u64,
+    ) -> Self {
+        Self {
+            dp,
+            fast_count,
+            fast_rate,
+            slow_rates,
+            num_micro_batches,
+            min_groups_per_pipeline: 1,
+            exact_enumeration_limit: 200_000,
+        }
+    }
+
+    fn total_groups(&self) -> usize {
+        self.fast_count + self.slow_rates.len()
+    }
+}
+
+/// A solution to the pipeline-division problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Division {
+    /// Number of fast groups assigned to each pipeline.
+    pub fast_per_pipeline: Vec<usize>,
+    /// For each slow group, the index of the pipeline it is assigned to.
+    pub slow_assignment: Vec<usize>,
+    /// Micro-batches assigned to each pipeline.
+    pub micro_batches: Vec<u64>,
+    /// Relaxed per-pipeline capacities `W_i` (for diagnostics).
+    pub capacities: Vec<f64>,
+    /// Objective value `max_i m_i / W_i` (relative units; multiply by
+    /// `L * τ(b)` outside to obtain a time).
+    pub objective: f64,
+}
+
+impl Division {
+    /// Groups (fast + slow counts) per pipeline.
+    pub fn groups_per_pipeline(&self) -> Vec<usize> {
+        let mut counts = self.fast_per_pipeline.clone();
+        for &p in &self.slow_assignment {
+            counts[p] += 1;
+        }
+        counts
+    }
+}
+
+/// Errors from the division solver.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivisionError {
+    /// `dp` was zero.
+    ZeroPipelines,
+    /// There are fewer groups than `dp * min_groups_per_pipeline`.
+    NotEnoughGroups { groups: usize, required: usize },
+}
+
+impl std::fmt::Display for DivisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivisionError::ZeroPipelines => write!(f, "cannot divide groups into zero pipelines"),
+            DivisionError::NotEnoughGroups { groups, required } => write!(
+                f,
+                "only {groups} groups available but {required} are required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DivisionError {}
+
+/// Distribute the fast groups to balance per-pipeline capacities.
+///
+/// Given the capacity contributed by the already-assigned slow groups, hand out
+/// the `fast_count` identical fast groups one at a time to the pipeline with
+/// the smallest current capacity, respecting the minimum-groups constraint
+/// first.
+fn distribute_fast_groups(
+    dp: usize,
+    fast_count: usize,
+    fast_rate: f64,
+    slow_capacity: &[f64],
+    slow_counts: &[usize],
+    min_groups: usize,
+) -> Option<Vec<usize>> {
+    let mut fast = vec![0usize; dp];
+    let mut remaining = fast_count;
+    // First satisfy the minimum group count per pipeline.
+    for i in 0..dp {
+        let need = min_groups.saturating_sub(slow_counts[i]);
+        if need > remaining {
+            return None;
+        }
+        fast[i] = need;
+        remaining -= need;
+    }
+    let unit = if fast_rate > 0.0 && fast_rate.is_finite() {
+        1.0 / fast_rate
+    } else {
+        0.0
+    };
+    let mut capacity: Vec<f64> = (0..dp)
+        .map(|i| slow_capacity[i] + fast[i] as f64 * unit)
+        .collect();
+    for _ in 0..remaining {
+        let (imin, _) = capacity
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        fast[imin] += 1;
+        capacity[imin] += unit;
+    }
+    Some(fast)
+}
+
+/// Evaluate a full division: compute capacities, split micro-batches exactly and
+/// return the objective.
+fn evaluate(
+    problem: &DivisionProblem,
+    fast_per_pipeline: &[usize],
+    slow_assignment: &[usize],
+) -> Option<Division> {
+    let dp = problem.dp;
+    let mut rates_per_pipeline: Vec<Vec<f64>> = vec![Vec::new(); dp];
+    for (i, &count) in fast_per_pipeline.iter().enumerate() {
+        for _ in 0..count {
+            rates_per_pipeline[i].push(problem.fast_rate);
+        }
+    }
+    for (k, &p) in slow_assignment.iter().enumerate() {
+        rates_per_pipeline[p].push(problem.slow_rates[k]);
+    }
+    let capacities: Vec<f64> = rates_per_pipeline
+        .iter()
+        .map(|r| harmonic_capacity(r))
+        .collect();
+    // Any pipeline with zero capacity (all groups failed or none assigned)
+    // cannot train a replica.
+    if capacities.iter().any(|&c| c <= 0.0) {
+        return None;
+    }
+    // Micro-batch weights: time per micro-batch ∝ 1 / W_i.
+    let weights: Vec<f64> = capacities.iter().map(|&c| 1.0 / c).collect();
+    let alloc = solve_minmax_allocation(&weights, problem.num_micro_batches, &[]).ok()?;
+    Some(Division {
+        fast_per_pipeline: fast_per_pipeline.to_vec(),
+        slow_assignment: slow_assignment.to_vec(),
+        micro_batches: alloc.amounts,
+        capacities,
+        objective: alloc.objective,
+    })
+}
+
+/// Solve the pipeline-division problem.
+pub fn divide_pipelines(problem: &DivisionProblem) -> Result<Division, DivisionError> {
+    let dp = problem.dp;
+    if dp == 0 {
+        return Err(DivisionError::ZeroPipelines);
+    }
+    let required = dp * problem.min_groups_per_pipeline.max(1);
+    if problem.total_groups() < required {
+        return Err(DivisionError::NotEnoughGroups {
+            groups: problem.total_groups(),
+            required,
+        });
+    }
+
+    let ms = problem.slow_rates.len();
+    let search_space = (dp as u64).checked_pow(ms as u32).unwrap_or(u64::MAX);
+
+    let mut best: Option<Division> = None;
+    let consider = |assignment: &[usize], best: &mut Option<Division>| {
+        let mut slow_counts = vec![0usize; dp];
+        let mut slow_capacity = vec![0.0f64; dp];
+        for (k, &p) in assignment.iter().enumerate() {
+            slow_counts[p] += 1;
+            let y = problem.slow_rates[k];
+            if y.is_finite() && y > 0.0 {
+                slow_capacity[p] += 1.0 / y;
+            }
+        }
+        if let Some(fast) = distribute_fast_groups(
+            dp,
+            problem.fast_count,
+            problem.fast_rate,
+            &slow_capacity,
+            &slow_counts,
+            problem.min_groups_per_pipeline.max(1),
+        ) {
+            if let Some(candidate) = evaluate(problem, &fast, assignment) {
+                if best
+                    .as_ref()
+                    .map(|b| candidate.objective < b.objective - 1e-12)
+                    .unwrap_or(true)
+                {
+                    *best = Some(candidate);
+                }
+            }
+        }
+    };
+
+    if search_space <= problem.exact_enumeration_limit {
+        // Exact enumeration of all slow-group assignments.
+        let mut assignment = vec![0usize; ms];
+        loop {
+            consider(&assignment, &mut best);
+            // Advance the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == ms {
+                    break;
+                }
+                assignment[pos] += 1;
+                if assignment[pos] < dp {
+                    break;
+                }
+                assignment[pos] = 0;
+                pos += 1;
+            }
+            if pos == ms {
+                break;
+            }
+            if ms == 0 {
+                break;
+            }
+        }
+        if ms == 0 {
+            consider(&[], &mut best);
+        }
+    } else {
+        // Deterministic local search: greedy seeding (heaviest slow group to the
+        // pipeline with the largest remaining deficit) followed by single-move
+        // hill climbing.
+        let mut order: Vec<usize> = (0..ms).collect();
+        order.sort_by(|&a, &b| problem.slow_rates[b].total_cmp(&problem.slow_rates[a]));
+        let mut assignment = vec![0usize; ms];
+        let mut counts = vec![0usize; dp];
+        for &k in &order {
+            // Round-robin over pipelines with the fewest slow groups so slow
+            // groups spread out (they then attract fewer fast groups).
+            let (p, _) = counts.iter().enumerate().min_by_key(|(_, &c)| c).unwrap();
+            assignment[k] = p;
+            counts[p] += 1;
+        }
+        consider(&assignment, &mut best);
+        // Hill climbing over single reassignments.
+        let mut improved = true;
+        let mut rounds = 0usize;
+        while improved && rounds < 64 {
+            improved = false;
+            rounds += 1;
+            for k in 0..ms {
+                let original = assignment[k];
+                for p in 0..dp {
+                    if p == original {
+                        continue;
+                    }
+                    assignment[k] = p;
+                    let before = best.as_ref().map(|b| b.objective).unwrap_or(f64::INFINITY);
+                    consider(&assignment, &mut best);
+                    let after = best.as_ref().map(|b| b.objective).unwrap_or(f64::INFINITY);
+                    if after < before - 1e-12 {
+                        improved = true;
+                    } else {
+                        assignment[k] = original;
+                    }
+                }
+            }
+        }
+    }
+
+    best.ok_or(DivisionError::NotEnoughGroups {
+        groups: problem.total_groups(),
+        required,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_groups_split_evenly() {
+        let p = DivisionProblem::new(4, 16, 1.0, vec![], 64);
+        let d = divide_pipelines(&p).unwrap();
+        assert_eq!(d.fast_per_pipeline, vec![4, 4, 4, 4]);
+        assert_eq!(d.micro_batches, vec![16, 16, 16, 16]);
+        assert!((d.objective - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_group_attracts_fewer_micro_batches() {
+        // 2 pipelines, 7 fast groups + 1 group 4x slower.
+        let p = DivisionProblem::new(2, 7, 1.0, vec![4.0], 64);
+        let d = divide_pipelines(&p).unwrap();
+        let slow_pipeline = d.slow_assignment[0];
+        let fast_pipeline = 1 - slow_pipeline;
+        assert!(d.micro_batches[slow_pipeline] <= d.micro_batches[fast_pipeline]);
+        assert_eq!(d.micro_batches.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn capacities_are_balanced_by_fast_groups() {
+        // Pipeline receiving the slow group should receive more fast groups so
+        // its overall capacity stays close to its peer.
+        let p = DivisionProblem::new(2, 6, 1.0, vec![3.0, 3.0], 64);
+        let d = divide_pipelines(&p).unwrap();
+        let spread = (d.capacities[0] - d.capacities[1]).abs();
+        assert!(spread <= 1.0 + 1e-9, "capacities should be nearly balanced");
+    }
+
+    #[test]
+    fn min_groups_constraint_is_enforced() {
+        let mut p = DivisionProblem::new(2, 2, 1.0, vec![2.0, 2.0], 16);
+        p.min_groups_per_pipeline = 2;
+        let d = divide_pipelines(&p).unwrap();
+        for count in d.groups_per_pipeline() {
+            assert!(count >= 2);
+        }
+    }
+
+    #[test]
+    fn errors_on_impossible_instances() {
+        let p = DivisionProblem::new(0, 4, 1.0, vec![], 16);
+        assert!(matches!(
+            divide_pipelines(&p),
+            Err(DivisionError::ZeroPipelines)
+        ));
+        let p = DivisionProblem::new(8, 2, 1.0, vec![], 16);
+        assert!(matches!(
+            divide_pipelines(&p),
+            Err(DivisionError::NotEnoughGroups { .. })
+        ));
+    }
+
+    #[test]
+    fn local_search_path_matches_exact_on_small_instance() {
+        let mut exact = DivisionProblem::new(3, 6, 1.0, vec![2.0, 3.0, 5.0], 48);
+        let mut heuristic = exact.clone();
+        exact.exact_enumeration_limit = 1_000_000;
+        heuristic.exact_enumeration_limit = 1; // force local search
+        let de = divide_pipelines(&exact).unwrap();
+        let dh = divide_pipelines(&heuristic).unwrap();
+        // Local search must be within a few percent of the exact optimum here.
+        assert!(dh.objective <= de.objective * 1.10 + 1e-9);
+    }
+
+    #[test]
+    fn many_slow_groups_large_instance_completes() {
+        // 1024-GPU style instance: 128 fast groups, 16 slow groups, DP 8.
+        let slow: Vec<f64> = (0..16).map(|i| 2.0 + (i as f64) * 0.25).collect();
+        let p = DivisionProblem::new(8, 120, 1.0, slow, 1024);
+        let d = divide_pipelines(&p).unwrap();
+        assert_eq!(d.micro_batches.iter().sum::<u64>(), 1024);
+        assert_eq!(d.slow_assignment.len(), 16);
+    }
+}

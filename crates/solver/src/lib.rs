@@ -1,0 +1,29 @@
+//! `malleus-solver` — small exact optimizers used by the Malleus planner.
+//!
+//! The Malleus paper (SIGMOD 2025) formulates its parallelization planning as a
+//! bi-level optimization problem whose lower level decomposes into integer
+//! linear programs (Eq. (2) layer assignment, Eq. (3) data assignment) and whose
+//! upper level contains a small mixed-integer non-linear program (Eq. (4),
+//! pipeline division).  The original implementation relies on PuLP and Pyomo;
+//! this crate provides self-contained exact solvers tailored to those problem
+//! shapes so the reproduction has no external solver dependency.
+//!
+//! The three problem families are:
+//!
+//! * **Min-max allocation** ([`minmax::solve_minmax_allocation`]): distribute an
+//!   integer `total` across weighted slots, minimizing the largest
+//!   `weight * amount`, subject to per-slot capacities.  Both the layer ILP and
+//!   the data ILP are instances of this problem.
+//! * **Pipeline division** ([`division::divide_pipelines`]): split a pool of
+//!   "fast" and "slow" tensor-parallel groups across `DP` pipelines together
+//!   with the micro-batch counts, minimizing the slowest pipeline.
+//! * **Continuous relaxations** ([`relax`]): the harmonic-capacity estimates
+//!   used by Theorem 2 to rank grouping results in constant time.
+
+pub mod division;
+pub mod minmax;
+pub mod relax;
+
+pub use division::{divide_pipelines, Division, DivisionProblem};
+pub use minmax::{solve_minmax_allocation, AllocationError, AllocationResult};
+pub use relax::{harmonic_capacity, relaxed_minmax_objective, theorem2_ratio};

@@ -1,0 +1,115 @@
+//! Continuous relaxations used by the upper-level planning problem.
+//!
+//! Theorem 2 of the paper proves that, when the memory constraints are dropped
+//! and layer / data assignments may be fractional, the optimal step time of a
+//! grouping result is inversely proportional to the *harmonic capacity*
+//! `Σ_g 1 / y_g` of its group straggling rates.  The planner uses this as a
+//! constant-time estimator to rank the candidate grouping results produced by
+//! the group-splitting routine (Appendix B.7), and the pipeline-division solver
+//! uses the same quantity to measure per-pipeline throughput.
+
+/// Harmonic capacity `Σ_g 1 / y_g` of a set of group straggling rates.
+///
+/// Rates of `f64::INFINITY` (failed or removed groups) contribute zero.
+/// A higher harmonic capacity means a faster (better) grouping result.
+pub fn harmonic_capacity(rates: &[f64]) -> f64 {
+    rates
+        .iter()
+        .filter(|y| y.is_finite() && **y > 0.0)
+        .map(|y| 1.0 / y)
+        .sum()
+}
+
+/// The relaxed optimal step time for a grouping result (Theorem 2 / Appendix
+/// B.2): `T = (B/b) * L * τ(b) / Σ 1/y`.
+///
+/// Only the relative value matters when comparing grouping results, so callers
+/// that just rank candidates can pass `work = 1.0`.
+pub fn relaxed_minmax_objective(rates: &[f64], work: f64) -> f64 {
+    let cap = harmonic_capacity(rates);
+    if cap <= 0.0 {
+        f64::INFINITY
+    } else {
+        work / cap
+    }
+}
+
+/// Theorem 2 ratio `T' / T'' = (Σ 1/y'') / (Σ 1/y')` between two grouping
+/// results.  A ratio `< 1` means the *first* grouping is faster.
+pub fn theorem2_ratio(rates_a: &[f64], rates_b: &[f64]) -> f64 {
+    let cap_a = harmonic_capacity(rates_a);
+    let cap_b = harmonic_capacity(rates_b);
+    if cap_a <= 0.0 {
+        f64::INFINITY
+    } else {
+        cap_b / cap_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_capacity_of_uniform_groups() {
+        let rates = vec![1.0; 8];
+        assert!((harmonic_capacity(&rates) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_rates_are_ignored() {
+        let rates = vec![1.0, f64::INFINITY, 2.0];
+        assert!((harmonic_capacity(&rates) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_prefers_higher_capacity() {
+        // Splitting a straggler-dominated group of 8 into {1 straggler} + {7
+        // healthy-ish GPUs regrouped} should improve the harmonic capacity, as
+        // in Figure 5 of the paper.
+        let before = vec![12.53, 1.0, 1.0, 1.0];
+        let after = vec![12.53, 0.6, 1.0, 1.0, 1.0];
+        let ratio = theorem2_ratio(&after, &before);
+        assert!(
+            ratio < 1.0,
+            "after-split grouping should be faster (T_after/T_before < 1), got {ratio}"
+        );
+    }
+
+    #[test]
+    fn figure5_example_ordering() {
+        // Figure 5: original group straggling rate before splitting is 12.53
+        // giving capacity 1/12.53 ≈ 0.08; the third splitting possibility is the
+        // best with capacity ≈ 0.52 among {0.67?, 0.73?, 0.52?}.  We only check
+        // that all split options beat the unsplit one and that the solver ranks
+        // them consistently with their capacities.
+        let unsplit = vec![12.53];
+        let split_a = vec![12.53, 5.42, 2.57, 7.22];
+        let split_b = vec![12.53, 5.42, 3.66, 7.22];
+        let caps = [
+            harmonic_capacity(&unsplit),
+            harmonic_capacity(&split_a),
+            harmonic_capacity(&split_b),
+        ];
+        assert!(caps[1] > caps[0] && caps[2] > caps[0]);
+        assert_eq!(
+            theorem2_ratio(&split_a, &split_b) < 1.0,
+            caps[1] > caps[2],
+            "ratio ordering must agree with capacity ordering"
+        );
+    }
+
+    #[test]
+    fn relaxed_objective_scales_with_work() {
+        let rates = vec![1.0, 2.0];
+        let t1 = relaxed_minmax_objective(&rates, 10.0);
+        let t2 = relaxed_minmax_objective(&rates, 20.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_all_failed_is_infinite() {
+        assert!(relaxed_minmax_objective(&[], 1.0).is_infinite());
+        assert!(relaxed_minmax_objective(&[f64::INFINITY], 1.0).is_infinite());
+    }
+}

@@ -1,0 +1,64 @@
+//! Elastic scaling and failure recovery (§5.2).
+//!
+//! A GPU first becomes a heavy straggler (the planner parks it as a standby
+//! device), then fails outright (the session recovers from a checkpoint with
+//! the failed GPU excluded), and finally recovers (the next re-planning round
+//! re-admits it).
+//!
+//! ```bash
+//! cargo run --release --example elastic_failover
+//! ```
+
+use malleus::cluster::{Situation, TracePhase};
+use malleus::prelude::*;
+
+fn main() {
+    let cluster = Cluster::homogeneous(4, 8);
+    let coeffs =
+        ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+
+    let phases = vec![
+        ("healthy", vec![]),
+        (
+            "heavy straggler on gpu3",
+            vec![(GpuId(3), StragglerLevel::Level8.rate())],
+        ),
+        ("gpu3 fails", vec![(GpuId(3), f64::INFINITY)]),
+        ("gpu3 recovers", vec![]),
+    ];
+    let trace = Trace {
+        phases: phases
+            .iter()
+            .map(|(name, rates)| TracePhase {
+                situation: Situation {
+                    name: (*name).to_string(),
+                    rates: rates.clone(),
+                },
+                iterations: 10,
+            })
+            .collect(),
+    };
+
+    let mut session = TrainingSession::new(coeffs, PlannerConfig::default(), cluster);
+    let report = session.run(&trace).expect("session should complete");
+
+    for phase in &report.phases {
+        println!("== {} ==", phase.situation);
+        println!(
+            "  step {:.2} s | planning {:.2} s | migration {:.2} s | restart {:.1} s | standby GPUs {}",
+            phase.step_time,
+            phase.planning_time,
+            phase.migration_time,
+            phase.restart_time,
+            phase.standby_gpus
+        );
+    }
+
+    let healthy = report.phases.first().unwrap();
+    let recovered = report.phases.last().unwrap();
+    println!();
+    println!(
+        "step time healthy {:.2} s -> after recovery {:.2} s (the recovered GPU was re-admitted: {} standby devices remain)",
+        healthy.step_time, recovered.step_time, recovered.standby_gpus
+    );
+}

@@ -1,0 +1,79 @@
+//! Mini ablation of the four non-uniform partitioning dimensions (§3.1,
+//! Figure 9): start from uniform 3D parallelism and progressively enable
+//! non-uniform layers, data, device grouping (straggler splitting) and stage
+//! counts, printing the simulated step time after each addition.
+//!
+//! ```bash
+//! cargo run --release --example planner_ablation
+//! ```
+
+use malleus::baselines::theoretic_optimal_time;
+use malleus::prelude::*;
+
+fn main() {
+    // 110B-style scenario scaled down to the 32B model on 32 GPUs: three
+    // stragglers of increasing severity on three different nodes.
+    let mut cluster = Cluster::homogeneous(4, 8);
+    cluster.set_rate(GpuId(0), 2.57);
+    cluster.set_rate(GpuId(8), 5.42);
+    cluster.set_rate(GpuId(16), 12.53);
+    let snapshot = cluster.snapshot();
+
+    let coeffs =
+        ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+    let sim = TrainingSimulator::new(coeffs.clone());
+
+    // Healthy reference time for the theoretic optimum.
+    let healthy_plan = Planner::new(coeffs.clone(), PlannerConfig::default())
+        .plan(&Cluster::homogeneous(4, 8).snapshot())
+        .unwrap();
+    let healthy_time = sim
+        .step(&healthy_plan.plan, &Cluster::homogeneous(4, 8).snapshot())
+        .unwrap()
+        .step_time;
+    let optimum = theoretic_optimal_time(healthy_time, &snapshot);
+
+    let variants: Vec<(&str, PlannerConfig)> = vec![
+        (
+            "uniform (Megatron-like)",
+            PlannerConfig::ablation(false, false, false, false),
+        ),
+        (
+            "+ non-uniform layers",
+            PlannerConfig::ablation(true, false, false, false),
+        ),
+        (
+            "+ non-uniform data",
+            PlannerConfig::ablation(true, true, false, false),
+        ),
+        (
+            "+ non-uniform devices",
+            PlannerConfig::ablation(true, true, true, false),
+        ),
+        (
+            "+ non-uniform stages",
+            PlannerConfig::ablation(true, true, true, true),
+        ),
+    ];
+
+    println!("scenario: x0=2.57 (node 0), x8=5.42 (node 1), x16=12.53 (node 2)");
+    println!("theoretic optimum: {optimum:.2} s/step (healthy: {healthy_time:.2} s)");
+    println!();
+    println!(
+        "{:<26} {:>12} {:>16}",
+        "configuration", "step (s)", "gap to optimum"
+    );
+    for (label, config) in variants {
+        let planner = Planner::new(coeffs.clone(), config);
+        match planner.plan(&snapshot) {
+            Ok(outcome) => match sim.step(&outcome.plan, &snapshot) {
+                Ok(report) => {
+                    let gap = 100.0 * (1.0 - optimum / report.step_time);
+                    println!("{:<26} {:>12.2} {:>15.1}%", label, report.step_time, gap);
+                }
+                Err(e) => println!("{label:<26} {:>12}", format!("OOM: {e}")),
+            },
+            Err(e) => println!("{label:<26} {:>12}", format!("infeasible: {e}")),
+        }
+    }
+}

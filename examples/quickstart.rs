@@ -1,0 +1,57 @@
+//! Quickstart: plan hybrid-parallel training around a straggler and compare
+//! against a uniform (Megatron-style) plan.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use malleus::prelude::*;
+
+fn main() {
+    // A 4-node × 8-GPU cluster training the 32B model, with one level-3
+    // straggler (x = 5.42) on GPU 0 — the paper's S2 situation.
+    let mut cluster = Cluster::homogeneous(4, 8);
+    cluster.set_rate(GpuId(0), StragglerLevel::Level3.rate());
+    let snapshot = cluster.snapshot();
+
+    // Profile the model and hardware (this replaces the paper's online
+    // profiler) and build the Malleus planner.
+    let coeffs =
+        ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+    let planner = Planner::new(coeffs.clone(), PlannerConfig::default());
+
+    // Deduce the straggler-aware parallelization plan.
+    let outcome = planner.plan(&snapshot).expect("planning should succeed");
+    println!(
+        "=== Malleus plan (max TP {}, DP {}) ===",
+        outcome.chosen_tp, outcome.dp
+    );
+    println!("{}", outcome.plan.describe(&snapshot));
+    println!(
+        "planner estimate: {:.2} s/step (simplified {:.2} s), planning took {:.0} ms",
+        outcome.estimated_step_time,
+        outcome.estimated_step_time_simplified,
+        outcome.timing.total().as_secs_f64() * 1000.0
+    );
+
+    // Execute one simulated training step with the adapted plan.
+    let malleus_step = simulate_step(&coeffs, &outcome.plan, &snapshot)
+        .expect("plan fits in memory")
+        .step_time;
+
+    // Compare against the uniform plan Megatron-LM would use (DP2 × TP4 × PP4).
+    let gpus: Vec<GpuId> = (0..32).map(GpuId).collect();
+    let uniform = ParallelizationPlan::uniform(&gpus, 2, 4, 4, 60, 64, 1).unwrap();
+    let uniform_step = simulate_step(&coeffs, &uniform, &snapshot)
+        .expect("uniform plan fits in memory")
+        .step_time;
+
+    println!();
+    println!("simulated step time with the straggler present:");
+    println!("  Malleus (straggler-aware): {malleus_step:>7.2} s/step");
+    println!("  uniform 3D parallelism:    {uniform_step:>7.2} s/step");
+    println!(
+        "  speedup:                   {:>7.2}x",
+        uniform_step / malleus_step
+    );
+}

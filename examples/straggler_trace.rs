@@ -1,0 +1,45 @@
+//! Drive a full Malleus training session over the paper's straggler trace
+//! (Normal → S1 → … → S6 → Normal) and print a per-phase report: adapted step
+//! time, what the job would have paid without adapting, migration cost and the
+//! number of standby GPUs.
+//!
+//! ```bash
+//! cargo run --release --example straggler_trace
+//! ```
+
+use malleus::prelude::*;
+
+fn main() {
+    // The paper's 32B workload: 32 GPUs (4 nodes × 8), global batch 64.
+    let cluster = Cluster::homogeneous(4, 8);
+    let coeffs =
+        ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+    let trace = Trace::paper_trace(&cluster, 20);
+
+    let mut session = TrainingSession::new(coeffs, PlannerConfig::default(), cluster);
+    let report = session.run(&trace).expect("session should complete");
+
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "phase", "step (s)", "no-adapt (s)", "plan (s)", "migr (s)", "standby", "MFU"
+    );
+    for phase in &report.phases {
+        println!(
+            "{:<8} {:>10.2} {:>12.2} {:>10.2} {:>10.2} {:>8} {:>7.1}%",
+            phase.situation,
+            phase.step_time,
+            phase.step_time_before_adaptation,
+            phase.planning_time,
+            phase.migration_time,
+            phase.standby_gpus,
+            phase.mfu * 100.0
+        );
+    }
+    println!();
+    println!(
+        "trace total: {:.0} s over {} phases (avg {:.2} s/step)",
+        report.total_time,
+        report.phases.len(),
+        report.average_step_time()
+    );
+}

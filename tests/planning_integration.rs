@@ -1,0 +1,177 @@
+//! Integration tests of the full planning pipeline on the paper's scenarios.
+
+use malleus::prelude::*;
+
+fn planner_for(spec: ModelSpec, batch: u64) -> Planner {
+    Planner::new(
+        ProfiledCoefficients::derive(spec, HardwareParams::a800_cluster()),
+        PlannerConfig {
+            global_batch_size: batch,
+            ..PlannerConfig::default()
+        },
+    )
+}
+
+fn snapshot_for(nodes: u32, situation: PaperSituation) -> ClusterSnapshot {
+    let mut cluster = Cluster::homogeneous(nodes, 8);
+    let s = situation.situation(&cluster);
+    cluster.apply_situation(&s.rates);
+    cluster.snapshot()
+}
+
+#[test]
+fn all_paper_situations_admit_valid_plans_for_all_models() {
+    let workloads = [
+        (ModelSpec::llama2_32b(), 4u32),
+        (ModelSpec::llama2_70b(), 8),
+        (ModelSpec::llama2_110b(), 8),
+    ];
+    for (spec, nodes) in workloads {
+        let layers = spec.num_layers;
+        let planner = planner_for(spec.clone(), 64);
+        for situation in [
+            PaperSituation::Normal,
+            PaperSituation::S1,
+            PaperSituation::S2,
+            PaperSituation::S3,
+            PaperSituation::S4,
+            PaperSituation::S5,
+            PaperSituation::S6,
+        ] {
+            let snapshot = snapshot_for(nodes, situation);
+            let outcome = planner
+                .plan(&snapshot)
+                .unwrap_or_else(|e| panic!("{} under {:?}: {e}", spec.name, situation));
+            outcome.plan.validate(layers, 64).unwrap();
+            assert!(planner.cost.memory_feasible(&outcome.plan));
+        }
+    }
+}
+
+#[test]
+fn case_study_110b_s4_removes_or_isolates_every_straggler() {
+    // Table 4: under S4 the heavy stragglers end up isolated in small groups
+    // (or parked as standby) and never share a group with healthy GPUs that
+    // would be dragged down.
+    let planner = planner_for(ModelSpec::llama2_110b(), 64);
+    let snapshot = snapshot_for(8, PaperSituation::S4);
+    let outcome = planner.plan(&snapshot).unwrap();
+    for straggler in snapshot.stragglers(1.05) {
+        let holding_group = outcome.plan.pipelines.iter().find_map(|p| {
+            p.stages
+                .iter()
+                .find(|s| s.group.gpus.contains(&straggler))
+                .map(|s| s.group.clone())
+        });
+        match holding_group {
+            None => assert!(outcome.plan.removed_gpus.contains(&straggler)),
+            Some(group) => {
+                // If a straggler is retained, every other member of its group
+                // must also be a straggler of similar severity (Theorem 1).
+                for member in &group.gpus {
+                    assert!(
+                        snapshot.rate(*member) > 1.05 || group.tp_degree() == 1,
+                        "straggler {straggler} shares a group with healthy {member}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn case_study_32b_s5_keeps_node_of_mild_stragglers_in_use() {
+    // Table 4: under S5 the eight level-1 stragglers of node 0 are *retained*
+    // (with fewer layers / less data), not discarded like a node-granular
+    // approach would do.
+    let planner = planner_for(ModelSpec::llama2_32b(), 64);
+    let snapshot = snapshot_for(4, PaperSituation::S5);
+    let outcome = planner.plan(&snapshot).unwrap();
+    let node0_active = outcome
+        .plan
+        .active_gpus()
+        .iter()
+        .filter(|g| snapshot.node_of(**g) == 0)
+        .count();
+    assert!(
+        node0_active >= 4,
+        "most of the mildly straggling node should stay in use, got {node0_active}"
+    );
+}
+
+#[test]
+fn planner_beats_every_uniform_configuration_under_stragglers() {
+    let planner = planner_for(ModelSpec::llama2_32b(), 64);
+    let snapshot = snapshot_for(4, PaperSituation::S4);
+    let outcome = planner.plan(&snapshot).unwrap();
+    let gpus: Vec<GpuId> = (0..32).map(GpuId).collect();
+    for (dp, tp, pp) in [(2usize, 4u32, 4usize), (4, 4, 2), (2, 8, 2), (1, 8, 4)] {
+        let Ok(uniform) = ParallelizationPlan::uniform(&gpus, dp, pp, tp, 60, 64, 1) else {
+            continue;
+        };
+        if !planner.cost.memory_feasible(&uniform) {
+            continue;
+        }
+        let uniform_time = planner.cost.step_time(&uniform, &snapshot);
+        assert!(
+            outcome.estimated_step_time <= uniform_time,
+            "DP{dp}TP{tp}PP{pp}: uniform {uniform_time} beats malleus {}",
+            outcome.estimated_step_time
+        );
+    }
+}
+
+#[test]
+fn replanning_under_each_situation_improves_over_stale_plan() {
+    // Re-planning keeps the DP degree when a feasible plan with that degree
+    // exists (covered by the planner unit tests); under the severe 70B
+    // situations the fixed-DP search may be infeasible and the documented
+    // fallback re-opens the DP enumeration.  Either way the adapted plan must
+    // be valid and strictly better than keeping the stale plan.
+    let planner = planner_for(ModelSpec::llama2_70b(), 64);
+    let healthy = snapshot_for(8, PaperSituation::Normal);
+    let initial = planner.plan(&healthy).unwrap();
+    for situation in [PaperSituation::S2, PaperSituation::S5] {
+        let snapshot = snapshot_for(8, situation);
+        let replanned = planner.replan(&snapshot, &initial.plan).unwrap();
+        replanned
+            .plan
+            .validate(ModelSpec::llama2_70b().num_layers, 64)
+            .unwrap();
+        let stale_time = planner.cost.step_time(&initial.plan, &snapshot);
+        assert!(
+            replanned.estimated_step_time < stale_time,
+            "{situation:?}: replanned {} should beat stale {stale_time}",
+            replanned.estimated_step_time
+        );
+    }
+}
+
+#[test]
+fn theoretic_optimum_lower_bounds_malleus_simulated_time() {
+    let coeffs =
+        ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+    let planner = planner_for(ModelSpec::llama2_32b(), 64);
+    let healthy = snapshot_for(4, PaperSituation::Normal);
+    let healthy_time = simulate_step(&coeffs, &planner.plan(&healthy).unwrap().plan, &healthy)
+        .unwrap()
+        .step_time;
+    for situation in [PaperSituation::S1, PaperSituation::S4, PaperSituation::S6] {
+        let snapshot = snapshot_for(4, situation);
+        let outcome = planner.plan(&snapshot).unwrap();
+        let simulated = simulate_step(&coeffs, &outcome.plan, &snapshot)
+            .unwrap()
+            .step_time;
+        let optimum = malleus::baselines::theoretic_optimal_time(healthy_time, &snapshot);
+        assert!(
+            simulated >= optimum * 0.98,
+            "{situation:?}: {simulated} < {optimum}"
+        );
+        // The paper reports Malleus stays within ~10% of the optimum on its
+        // testbed; our simulator adds sync/bubble overheads, so allow 2x.
+        assert!(
+            simulated <= optimum * 2.0,
+            "{situation:?}: {simulated} vs {optimum}"
+        );
+    }
+}

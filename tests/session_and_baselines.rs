@@ -1,0 +1,178 @@
+//! Integration tests of end-to-end sessions and the baseline comparisons
+//! (the claims behind Figure 7, Table 2 and Figure 8).
+
+use malleus::baselines::{
+    restart::RestartFamily, DeepSpeedPlanner, MegatronPlanner, OobleckPlanner, RestartPlanner,
+};
+use malleus::prelude::*;
+
+fn coeffs_32b() -> ProfiledCoefficients {
+    ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster())
+}
+
+fn snapshot_for(situation: PaperSituation) -> ClusterSnapshot {
+    let mut cluster = Cluster::homogeneous(4, 8);
+    let s = situation.situation(&cluster);
+    cluster.apply_situation(&s.rates);
+    cluster.snapshot()
+}
+
+#[test]
+fn full_paper_trace_session_stays_close_to_normal_throughput() {
+    let cluster = Cluster::homogeneous(4, 8);
+    let trace = Trace::paper_trace(&cluster, 10);
+    let mut session = TrainingSession::new(coeffs_32b(), PlannerConfig::default(), cluster);
+    let report = session.run(&trace).expect("session");
+    assert_eq!(report.phases.len(), 8);
+    let normal = report.phases[0].step_time;
+    for phase in &report.phases[1..7] {
+        // The paper: Malleus degrades by at most ~1.35x even under S5; allow 2x.
+        assert!(
+            phase.step_time < normal * 2.0,
+            "{}: {} vs normal {normal}",
+            phase.situation,
+            phase.step_time
+        );
+        // Migration, when it happens, stays in the seconds range, far below a
+        // checkpoint restart.
+        assert!(phase.migration_time < 60.0);
+        assert_eq!(phase.restart_time, 0.0);
+    }
+    // The trace ends healthy again: throughput recovers.
+    let last = report.phases.last().unwrap();
+    assert!((last.step_time - normal).abs() / normal < 0.15);
+}
+
+#[test]
+fn malleus_outperforms_megatron_and_deepspeed_in_every_straggled_situation() {
+    let coeffs = coeffs_32b();
+    let all_gpus: Vec<GpuId> = (0..32).map(GpuId).collect();
+    let planner = Planner::new(coeffs.clone(), PlannerConfig::default());
+    let megatron = MegatronPlanner::new(coeffs.clone(), 64, 8);
+    let (mega_cfg, mega_plan, _) = megatron.search(&all_gpus).unwrap();
+    let deepspeed = DeepSpeedPlanner::new(coeffs.clone(), 64);
+    let healthy = snapshot_for(PaperSituation::Normal);
+    let (ds_cfg, _) = deepspeed.search(&healthy, &all_gpus).unwrap();
+
+    for situation in [
+        PaperSituation::S1,
+        PaperSituation::S2,
+        PaperSituation::S3,
+        PaperSituation::S4,
+        PaperSituation::S5,
+        PaperSituation::S6,
+    ] {
+        let snapshot = snapshot_for(situation);
+        let malleus_plan = planner.plan(&snapshot).unwrap().plan;
+        let malleus_time = simulate_step(&coeffs, &malleus_plan, &snapshot)
+            .unwrap()
+            .step_time;
+        let mega_time = megatron
+            .simulate_step(&mega_plan, &snapshot, mega_cfg.activation_checkpointing)
+            .unwrap();
+        let ds_time = deepspeed
+            .simulate_step(&snapshot, &all_gpus, &ds_cfg)
+            .unwrap();
+        assert!(
+            mega_time > malleus_time * 1.5,
+            "{situation:?}: Megatron {mega_time} vs Malleus {malleus_time}"
+        );
+        assert!(
+            ds_time > malleus_time * 1.5,
+            "{situation:?}: DeepSpeed {ds_time} vs Malleus {malleus_time}"
+        );
+    }
+}
+
+#[test]
+fn malleus_beats_restart_baselines_without_paying_restart_costs() {
+    let coeffs = coeffs_32b();
+    let planner = Planner::new(coeffs.clone(), PlannerConfig::default());
+    let restart = RestartPlanner::new(RestartFamily::Megatron, coeffs.clone(), 64, 8);
+    // S4 removes three of the four nodes: the restart baseline keeps only 8
+    // GPUs while Malleus keeps using the healthy GPUs of straggling nodes.
+    let snapshot = snapshot_for(PaperSituation::S4);
+    let malleus_plan = planner.plan(&snapshot).unwrap().plan;
+    let malleus_time = simulate_step(&coeffs, &malleus_plan, &snapshot)
+        .unwrap()
+        .step_time;
+    let outcome = restart
+        .handle_situation(&snapshot, Some(&[0, 1, 2, 3]))
+        .unwrap();
+    assert!(outcome.restarted);
+    assert!(outcome.restart_cost > 60.0);
+    assert!(
+        outcome.step_time > malleus_time,
+        "restart {} vs malleus {malleus_time}",
+        outcome.step_time
+    );
+}
+
+#[test]
+fn oobleck_is_consistently_slower_and_restarts_where_the_paper_says() {
+    let coeffs = coeffs_32b();
+    let oobleck = OobleckPlanner::new(coeffs.clone(), 64, 8);
+    let planner = Planner::new(coeffs.clone(), PlannerConfig::default());
+    let mut prev_nodes: Vec<u32> = vec![0, 1, 2, 3];
+    let mut restarts = Vec::new();
+    for situation in [
+        PaperSituation::S1,
+        PaperSituation::S2,
+        PaperSituation::S3,
+        PaperSituation::S4,
+        PaperSituation::S5,
+        PaperSituation::S6,
+        PaperSituation::Normal,
+    ] {
+        let snapshot = snapshot_for(situation);
+        let outcome = oobleck.handle_situation(&snapshot, &prev_nodes, 4).unwrap();
+        let malleus_plan = planner.plan(&snapshot).unwrap().plan;
+        let malleus_time = simulate_step(&coeffs, &malleus_plan, &snapshot)
+            .unwrap()
+            .step_time;
+        assert!(
+            outcome.step_time > malleus_time * 1.5,
+            "{situation:?}: Oobleck {} vs Malleus {malleus_time}",
+            outcome.step_time
+        );
+        restarts.push(matches!(
+            outcome.transition,
+            malleus::baselines::OobleckTransition::Restarted
+        ));
+        prev_nodes = outcome.nodes_used;
+    }
+    // Figure 8: transitions into S4, S5, S6 and back to Normal need restarts.
+    assert_eq!(restarts, vec![false, false, false, true, true, true, true]);
+}
+
+#[test]
+fn profiler_driven_session_matches_direct_planning() {
+    // The session (profiler estimates rates from measurements) must land on
+    // plans of the same quality as planning directly from the true rates.
+    let cluster = Cluster::homogeneous(4, 8);
+    let trace = Trace {
+        phases: vec![
+            TracePhase {
+                situation: Situation::normal(),
+                iterations: 3,
+            },
+            TracePhase {
+                situation: PaperSituation::S3.situation(&cluster),
+                iterations: 3,
+            },
+        ],
+    };
+    let mut session = TrainingSession::new(coeffs_32b(), PlannerConfig::default(), cluster);
+    let report = session.run(&trace).unwrap();
+    let coeffs = coeffs_32b();
+    let planner = Planner::new(coeffs.clone(), PlannerConfig::default());
+    let snapshot = snapshot_for(PaperSituation::S3);
+    let direct = simulate_step(&coeffs, &planner.plan(&snapshot).unwrap().plan, &snapshot)
+        .unwrap()
+        .step_time;
+    let via_session = report.phases[1].step_time;
+    assert!(
+        (via_session - direct).abs() / direct < 0.10,
+        "session {via_session} vs direct {direct}"
+    );
+}
