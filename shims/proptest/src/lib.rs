@@ -1,0 +1,204 @@
+//! Offline API shim for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate reimplements the
+//! subset of proptest the malleus test suites use: numeric-range / tuple /
+//! `prop::collection::vec` / `prop::option::of` / `prop::sample::select`
+//! strategies, the `proptest!` test-generating macro, `ProptestConfig`, and
+//! the `prop_assert*` macros. Sampling is purely random (no shrinking) and
+//! fully deterministic: each test case's RNG is derived from a fixed base seed
+//! hashed with the test name and case index, so failures reproduce exactly.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of `proptest::prop` (`prop::collection`, `prop::option`,
+/// `prop::sample`).
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod option {
+        pub use crate::strategy::of;
+    }
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Generates `#[test]` functions whose arguments are sampled from strategies.
+///
+/// Supports the `#![proptest_config(...)]` inner attribute and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items, mirroring the real
+/// `proptest!` macro's surface.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)*
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!` — fails the current case (with the case's inputs reported by
+/// the runner) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`: {}", l, r, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} != {:?}`",
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = prop::collection::vec(0u32..10, 2..5);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_the_type_do_not_overflow() {
+        let mut rng = TestRng::from_seed(6);
+        let narrow = -50i8..100;
+        for _ in 0..500 {
+            assert!((-50..100).contains(&narrow.sample(&mut rng)));
+        }
+        let full = i64::MIN..i64::MAX;
+        for _ in 0..100 {
+            let _ = full.sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn full_width_float_range_terminates_and_stays_in_bounds() {
+        let mut rng = TestRng::from_seed(8);
+        let strat = f64::MIN..f64::MAX;
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!(v.is_finite() && v >= f64::MIN && v < f64::MAX);
+        }
+    }
+
+    #[test]
+    fn empty_vec_length_range_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = TestRng::from_seed(7);
+            prop::collection::vec(0u32..10, 5..3).sample(&mut rng)
+        });
+        assert!(result.is_err(), "inverted length range must panic");
+    }
+
+    #[test]
+    fn select_only_yields_listed_values() {
+        let mut rng = TestRng::from_seed(4);
+        let strat = prop::sample::select(vec![1u32, 2, 4, 8]);
+        for _ in 0..100 {
+            assert!([1, 2, 4, 8].contains(&strat.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn option_strategy_yields_both_variants() {
+        let mut rng = TestRng::from_seed(5);
+        let strat = prop::option::of(0u64..100);
+        let samples: Vec<_> = (0..100).map(|_| strat.sample(&mut rng)).collect();
+        assert!(samples.iter().any(|s| s.is_some()));
+        assert!(samples.iter().any(|s| s.is_none()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: tuples, ranges, and prop_assert all wire up.
+        #[test]
+        fn macro_generates_working_tests(
+            pair in (0u32..8, 1.0f64..2.0),
+            n in 1usize..=4,
+        ) {
+            prop_assert!(pair.0 < 8);
+            prop_assert!(pair.1 >= 1.0 && pair.1 < 2.0);
+            prop_assert_eq!(n.clamp(1, 4), n);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Deterministic case runner — the shim's analogue of `proptest::test_runner`.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim keeps tier-1 fast.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// SplitMix64 generator handed to strategies. Seeded from a fixed base, the
+/// test name and the case index, so every run of the suite samples the same
+/// inputs and failures reproduce exactly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `f` once per configured case with a per-case deterministic RNG.
+    /// A returned `Err` (from `prop_assert*`) panics with the failing case
+    /// index so the standard test harness reports it.
+    pub fn run<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        let base = fnv1a(name.as_bytes());
+        for case in 0..self.config.cases as u64 {
+            let mut rng = TestRng::from_seed(base ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+            if let Err(message) = f(&mut rng) {
+                panic!(
+                    "proptest '{name}' failed at case {case}/{}: {message}",
+                    self.config.cases
+                );
+            }
+        }
+    }
+}

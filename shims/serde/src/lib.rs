@@ -1,0 +1,32 @@
+//! Offline API shim for `serde`.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the *surface* of serde that the malleus crates use: the
+//! `Serialize` / `Deserialize` traits (as blanket-implemented markers, since
+//! nothing in the workspace performs actual serialization yet) and the two
+//! derive macros (as no-ops). Swapping back to real serde is a one-line edit
+//! in the root `Cargo.toml` `[workspace.dependencies]` table; no source file
+//! changes are needed because the import surface is identical.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

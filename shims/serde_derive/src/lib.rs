@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! The shim's traits are blanket-implemented for every type, so the derives
+//! have nothing to generate; they exist only so `#[derive(Serialize,
+//! Deserialize)]` attributes in the workspace compile unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
