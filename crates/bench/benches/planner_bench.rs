@@ -1,9 +1,9 @@
 //! Criterion benchmarks for the Malleus planning algorithm and its phases.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use malleus_bench::paper_workloads;
+use malleus_bench::{paper_workloads, ScenarioMatrix};
 use malleus_cluster::PaperSituation;
-use malleus_core::{grouping::group_cluster, CostModel};
+use malleus_core::{grouping::group_cluster, CostModel, Parallelism};
 use std::hint::black_box;
 
 fn bench_full_planning(c: &mut Criterion) {
@@ -30,6 +30,28 @@ fn bench_grouping(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_scaling(c: &mut Criterion) {
+    // The acceptance scenario for the candidate-lattice fan-out: the 256-GPU
+    // synthetic cluster, planned by the serial oracle and by the auto-width
+    // parallel path (identical output, different wall-clock on multi-core).
+    let scenario = ScenarioMatrix::large_scale()
+        .get("256-GPU")
+        .cloned()
+        .expect("256-GPU scenario");
+    let snapshot = scenario.snapshot();
+    let mut group = c.benchmark_group("planner_parallel");
+    group.sample_size(10);
+    let serial = scenario.planner(Parallelism::Fixed(1));
+    group.bench_function("256gpu_serial", |b| {
+        b.iter(|| serial.plan(black_box(&snapshot)).unwrap())
+    });
+    let auto = scenario.planner(Parallelism::Auto);
+    group.bench_function("256gpu_auto", |b| {
+        b.iter(|| auto.plan(black_box(&snapshot)).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_cost_model(c: &mut Criterion) {
     let workload = &paper_workloads()[0];
     let planner = workload.planner();
@@ -44,6 +66,6 @@ fn bench_cost_model(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_full_planning, bench_grouping, bench_cost_model
+    targets = bench_full_planning, bench_grouping, bench_parallel_scaling, bench_cost_model
 }
 criterion_main!(benches);

@@ -12,11 +12,13 @@
 
 use malleus_bench::paper_workloads;
 use malleus_bench::table::Table;
+use malleus_bench::ScenarioMatrix;
 use malleus_cluster::{Cluster, GpuId, PaperSituation, StragglerLevel};
-use malleus_core::{PlanTiming, Planner, PlannerConfig};
+use malleus_core::{Parallelism, PlanTiming, Planner, PlannerConfig};
 use malleus_model::{HardwareParams, ProfiledCoefficients};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::time::Instant;
 
 fn row(label: &str, timing: &PlanTiming, table: &mut Table) {
     let s = |d: std::time::Duration| format!("{:.2}s", d.as_secs_f64());
@@ -95,4 +97,58 @@ fn main() {
     println!();
     table.print();
     println!("\n(The planner runs on background CPU processes and is overlapped with one training step, §5.3.)");
+
+    // ---- Scenario matrix: serial oracle vs parallel candidate fan-out ----
+    let workers = Parallelism::Auto.workers();
+    println!(
+        "\nScenario matrix: serial vs parallel planning wall-clock ({workers} workers at auto)"
+    );
+    let mut table = Table::new([
+        "scenario",
+        "serial (s)",
+        "parallel (s)",
+        "speedup",
+        "plans identical",
+    ]);
+    for scenario in &ScenarioMatrix::large_scale().scenarios {
+        let snapshot = scenario.snapshot();
+        let serial_planner = scenario.planner(Parallelism::Fixed(1));
+        let t0 = Instant::now();
+        let serial = serial_planner.plan(&snapshot);
+        let serial_secs = t0.elapsed().as_secs_f64();
+
+        let parallel_planner = scenario.planner(Parallelism::Auto);
+        let t0 = Instant::now();
+        let parallel = parallel_planner.plan(&snapshot);
+        let parallel_secs = t0.elapsed().as_secs_f64();
+
+        let identical = match (&serial, &parallel) {
+            (Ok(a), Ok(b)) => {
+                a.plan == b.plan
+                    && a.estimated_step_time.to_bits() == b.estimated_step_time.to_bits()
+            }
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        table.row([
+            scenario.label.to_string(),
+            format!("{serial_secs:.2}"),
+            format!("{parallel_secs:.2}"),
+            format!("{:.2}x", serial_secs / parallel_secs.max(1e-9)),
+            identical.to_string(),
+        ]);
+        if let Ok(outcome) = &parallel {
+            println!(
+                "{}: DP {} | max TP {} | estimated {:.2} s/step | {} standby GPUs",
+                scenario.label,
+                outcome.dp,
+                outcome.chosen_tp,
+                outcome.estimated_step_time,
+                outcome.plan.removed_gpus.len()
+            );
+        }
+    }
+    println!();
+    table.print();
+    println!("\n(Speedups require a multi-core host; at auto=1 worker both columns run the serial path.)");
 }

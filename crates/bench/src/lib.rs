@@ -12,5 +12,5 @@
 pub mod scenarios;
 pub mod table;
 
-pub use scenarios::{paper_workloads, PaperWorkload};
+pub use scenarios::{paper_workloads, PaperWorkload, ScenarioMatrix, SyntheticScenario};
 pub use table::Table;

@@ -59,6 +59,30 @@ impl ClusterSnapshot {
         next
     }
 
+    /// A cheap structural fingerprint of the snapshot: FNV-1a over the node
+    /// topology and the exact bit patterns of the straggling rates.  Two equal
+    /// snapshots always share a fingerprint, so it can key memoization caches
+    /// (e.g. the planner's shared grouping memo); collisions are possible and
+    /// callers must confirm hits with a full equality check.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(mut h: u64, v: u64) -> u64 {
+            for byte in v.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = mix(OFFSET, self.num_nodes as u64);
+        for &n in &self.node_of {
+            h = mix(h, n as u64);
+        }
+        for &r in &self.rates {
+            h = mix(h, r.to_bits());
+        }
+        h
+    }
+
     /// Largest relative change of any GPU's rate w.r.t. another snapshot.
     /// The paper triggers re-planning when this exceeds 5%.
     pub fn max_relative_shift(&self, other: &ClusterSnapshot) -> f64 {
@@ -108,6 +132,19 @@ mod tests {
         assert!(a.max_relative_shift(&b) > 0.05);
         let b = a.with_rate(GpuId(2), f64::INFINITY);
         assert!(a.max_relative_shift(&b).is_infinite());
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality() {
+        let mut c = Cluster::homogeneous(2, 8);
+        let a = c.snapshot();
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        c.set_rate(GpuId(3), 2.57);
+        let b = c.snapshot();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Failures (infinite rates) are representable and distinguishable.
+        c.set_rate(GpuId(3), f64::INFINITY);
+        assert_ne!(b.fingerprint(), c.snapshot().fingerprint());
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!
 //! The [`planner::Planner`] ties the two levels together, enumerating candidate
 //! maximum TP degrees {1, 2, 4, 8} and micro-batch sizes exactly as §4.3.3
-//! describes, and reports a per-phase timing breakdown (Appendix A.2).
+//! describes, and reports a per-phase timing breakdown (Appendix A.2).  The
+//! candidate lattice is evaluated across worker threads ([`parallel`]) with a
+//! deterministic lattice-index reduction, so planning scales with cores while
+//! staying bit-identical to the serial reference path.
 //! [`migration`] computes the slice-level model-state movements needed to adopt
 //! a new plan on the fly (§5.1).
 
@@ -28,6 +31,7 @@ pub mod error;
 pub mod grouping;
 pub mod migration;
 pub mod orchestration;
+pub mod parallel;
 pub mod plan;
 pub mod planner;
 
@@ -35,5 +39,6 @@ pub use cost::CostModel;
 pub use error::PlanError;
 pub use grouping::{group_cluster, GroupingResult};
 pub use migration::{plan_migration, MigrationPlan, SliceMove};
+pub use parallel::{GroupingCache, Parallelism};
 pub use plan::{ParallelizationPlan, PipelinePlan, StagePlan, TpGroup};
 pub use planner::{PlanOutcome, PlanTiming, Planner, PlannerConfig};

@@ -1,0 +1,341 @@
+//! Parallel evaluation of the planner's candidate lattice.
+//!
+//! The Malleus planner (§4.3.3) enumerates a lattice of candidate
+//! configurations — every (maximum TP degree, DP degree, micro-batch size,
+//! division mode) tuple — and evaluates each candidate independently through
+//! grouping, pipeline division, group ordering and work assignment.  The
+//! evaluations share no mutable state, so the lattice is embarrassingly
+//! parallel.  This module provides the pieces the planner uses to fan the
+//! lattice across threads without changing its output:
+//!
+//! * [`Parallelism`] — the `PlannerConfig` knob selecting the worker count
+//!   (`Auto` uses [`std::thread::available_parallelism`], `Fixed(1)` keeps the
+//!   serial reference path that the equivalence test-suite treats as the
+//!   oracle).
+//! * [`GroupingCache`] — a memo cache for [`group_cluster`] results keyed by
+//!   ([`ClusterSnapshot::fingerprint`], max TP degree), with hits confirmed
+//!   against the full snapshot and coefficients.  Grouping is independent of
+//!   the rest of the lattice, so the cache is filled once per plan invocation
+//!   and then shared *read-only* by every worker (and by subsequent
+//!   re-planning rounds on an unchanged snapshot).
+//! * [`fan_out`] — a scoped-thread work queue (`std::thread::scope`, no
+//!   external dependencies) that evaluates `num_items` closures on `workers`
+//!   threads and returns the results **indexed by item**, not by completion
+//!   order.
+//!
+//! # Deterministic tie-break
+//!
+//! Thread scheduling must never influence the chosen plan.  The planner
+//! guarantees this by assigning every candidate a lattice index equal to its
+//! position in the serial enumeration order and *reducing the results in index
+//! order* with exactly the serial comparison: a candidate replaces the current
+//! best only if its estimated step time is smaller by more than `1e-12`
+//! seconds.  Ties (and near-ties within the epsilon) therefore always resolve
+//! to the candidate with the smallest lattice index — i.e. the same winner the
+//! serial oracle picks — no matter which worker finished first.  Because each
+//! candidate's floating-point evaluation is self-contained (no cross-candidate
+//! accumulation), the reduction is bit-identical to the serial fold.
+
+use crate::grouping::{group_cluster, GroupingResult};
+use malleus_cluster::ClusterSnapshot;
+use malleus_model::ProfiledCoefficients;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Environment variable overriding [`Parallelism::Auto`] resolution
+/// (`"auto"` or a worker count); used by CI to pin the planner's thread count.
+pub const PARALLELISM_ENV: &str = "MALLEUS_PLANNER_PARALLELISM";
+
+/// Worker-count knob for the candidate-lattice fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Use every available core (`std::thread::available_parallelism`),
+    /// honouring the `MALLEUS_PLANNER_PARALLELISM` environment override.
+    Auto,
+    /// Use exactly this many workers.  `Fixed(1)` is the serial reference
+    /// path — the oracle the deterministic-equivalence harness compares
+    /// against.
+    Fixed(usize),
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::Auto
+    }
+}
+
+impl Parallelism {
+    /// Resolve the knob to a concrete worker count (≥ 1).
+    pub fn workers(&self) -> usize {
+        match self {
+            Parallelism::Fixed(n) => (*n).max(1),
+            Parallelism::Auto => {
+                if let Some(p) = Self::from_env() {
+                    return p.workers_no_env();
+                }
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }
+        }
+    }
+
+    fn workers_no_env(&self) -> usize {
+        match self {
+            Parallelism::Fixed(n) => (*n).max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Parse the `MALLEUS_PLANNER_PARALLELISM` environment variable
+    /// (`"auto"` → [`Parallelism::Auto`], an integer → [`Parallelism::Fixed`]).
+    /// Unset or unparsable values yield `None`.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(PARALLELISM_ENV).ok()?;
+        let trimmed = raw.trim();
+        if trimmed.eq_ignore_ascii_case("auto") {
+            return Some(Parallelism::Auto);
+        }
+        trimmed.parse::<usize>().ok().map(Parallelism::Fixed)
+    }
+
+    /// The environment override if present, otherwise `default` (used by the
+    /// equivalence suite so CI can pin the candidate path to 1 or auto).
+    pub fn from_env_or(default: Parallelism) -> Self {
+        Self::from_env().unwrap_or(default)
+    }
+}
+
+/// A memoized grouping: the snapshot and coefficients it was computed for
+/// (kept to confirm fingerprint hits) plus the result.
+#[derive(Debug)]
+struct CachedGrouping {
+    snapshot: ClusterSnapshot,
+    coeffs: ProfiledCoefficients,
+    grouping: Arc<GroupingResult>,
+}
+
+impl CachedGrouping {
+    fn matches(&self, snapshot: &ClusterSnapshot, coeffs: &ProfiledCoefficients) -> bool {
+        self.snapshot == *snapshot && self.coeffs == *coeffs
+    }
+}
+
+/// Shared read-only memo cache for [`group_cluster`] results, keyed by
+/// (snapshot fingerprint, max TP degree, straggler threshold bits, splitting
+/// flag).  Entries are immutable once inserted; cloning the cache shares the
+/// underlying storage, so every clone of a `Planner` (and every worker thread)
+/// sees the same memo.
+#[derive(Debug, Clone, Default)]
+pub struct GroupingCache {
+    entries: Arc<Mutex<HashMap<(u64, u32, u64, bool), Arc<CachedGrouping>>>>,
+}
+
+/// Entries beyond this count flush the cache: re-planning traces revisit only
+/// a handful of recent snapshots, so an unbounded memo would just leak.
+const CACHE_CAPACITY: usize = 256;
+
+impl GroupingCache {
+    /// Fetch the grouping for (snapshot, `max_tp`), computing and memoizing it
+    /// on a miss.  Hits are confirmed with a full equality check of the
+    /// snapshot *and* the coefficients (grouping decisions depend on both), so
+    /// fingerprint collisions and planners sharing one memo across different
+    /// cost models degrade to recomputation, never wrong results.
+    pub fn get_or_compute(
+        &self,
+        snapshot: &ClusterSnapshot,
+        coeffs: &ProfiledCoefficients,
+        max_tp: u32,
+        straggler_threshold: f64,
+        enable_splitting: bool,
+    ) -> Arc<GroupingResult> {
+        let key = (
+            snapshot.fingerprint(),
+            max_tp,
+            straggler_threshold.to_bits(),
+            enable_splitting,
+        );
+        if let Some(hit) = self.entries.lock().unwrap().get(&key) {
+            if hit.matches(snapshot, coeffs) {
+                return Arc::clone(&hit.grouping);
+            }
+        }
+        // Compute outside the lock so concurrent misses on different TP
+        // degrees proceed in parallel.
+        let grouping = Arc::new(group_cluster(
+            snapshot,
+            coeffs,
+            max_tp,
+            1,
+            straggler_threshold,
+            enable_splitting,
+        ));
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() >= CACHE_CAPACITY {
+            entries.clear();
+        }
+        match entries.get(&key) {
+            // A racing worker inserted the same key meanwhile; reuse its
+            // result only if it was computed for the same inputs.
+            Some(existing) if existing.matches(snapshot, coeffs) => Arc::clone(&existing.grouping),
+            // Empty slot, a fingerprint collision, or a stale entry for other
+            // coefficients: our freshly computed grouping takes the slot and
+            // is returned, so the caller never sees another input's result.
+            _ => {
+                entries.insert(
+                    key,
+                    Arc::new(CachedGrouping {
+                        snapshot: snapshot.clone(),
+                        coeffs: coeffs.clone(),
+                        grouping: Arc::clone(&grouping),
+                    }),
+                );
+                grouping
+            }
+        }
+    }
+
+    /// Number of memoized groupings (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Evaluate `num_items` independent tasks on `workers` scoped threads and
+/// return the results in item order.
+///
+/// Work is distributed through a single atomic cursor, so threads self-balance
+/// over items of uneven cost.  Results land in per-item slots; completion
+/// order is irrelevant to the caller, which is what keeps the planner's
+/// reduction deterministic.  With `workers <= 1` (or one item) the tasks run
+/// inline on the calling thread — the serial reference path.
+pub fn fan_out<T, F>(num_items: usize, workers: usize, eval: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || num_items <= 1 {
+        return (0..num_items).map(eval).collect();
+    }
+    let slots: Vec<OnceLock<T>> = (0..num_items).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(num_items) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= num_items {
+                    break;
+                }
+                // Each slot is set exactly once: indices are handed out
+                // uniquely by the cursor.
+                let _ = slots[i].set(eval(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleus_cluster::{Cluster, GpuId};
+    use malleus_model::{HardwareParams, ModelSpec};
+
+    #[test]
+    fn fan_out_returns_results_in_item_order() {
+        for workers in [1, 2, 4, 8] {
+            let out = fan_out(37, workers, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fan_out_handles_empty_and_single_item() {
+        assert_eq!(fan_out(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn fan_out_balances_uneven_work() {
+        // Tasks of wildly different cost still come back correctly indexed.
+        let out = fan_out(16, 4, |i| {
+            if i % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallelism_resolves_to_at_least_one_worker() {
+        assert_eq!(Parallelism::Fixed(0).workers(), 1);
+        assert_eq!(Parallelism::Fixed(3).workers(), 3);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn grouping_cache_hits_return_equal_results() {
+        let coeffs =
+            ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+        let mut cluster = Cluster::homogeneous(2, 8);
+        cluster.set_rate(GpuId(3), 5.42);
+        let snapshot = cluster.snapshot();
+        let cache = GroupingCache::default();
+        let a = cache.get_or_compute(&snapshot, &coeffs, 8, 1.05, true);
+        assert_eq!(cache.len(), 1);
+        let b = cache.get_or_compute(&snapshot, &coeffs, 8, 1.05, true);
+        assert_eq!(*a, *b);
+        let direct = group_cluster(&snapshot, &coeffs, 8, 1, 1.05, true);
+        assert_eq!(*a, direct);
+        // A different TP degree is a distinct entry.
+        let c = cache.get_or_compute(&snapshot, &coeffs, 4, 1.05, true);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(*a, *c);
+    }
+
+    #[test]
+    fn grouping_cache_never_serves_another_models_grouping() {
+        // One memo queried under two coefficient sets: each answer must match
+        // a direct computation with the coefficients actually passed, even
+        // though the (fingerprint, tp, threshold, splitting) key is identical.
+        let coeffs_32b =
+            ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+        let coeffs_70b =
+            ProfiledCoefficients::derive(ModelSpec::llama2_70b(), HardwareParams::a800_cluster());
+        let mut cluster = Cluster::homogeneous(1, 8);
+        cluster.set_rate(GpuId(1), 2.57);
+        cluster.set_rate(GpuId(2), 1.3);
+        let snapshot = cluster.snapshot();
+        let cache = GroupingCache::default();
+        let a = cache.get_or_compute(&snapshot, &coeffs_32b, 8, 1.05, true);
+        let b = cache.get_or_compute(&snapshot, &coeffs_70b, 8, 1.05, true);
+        assert_eq!(*a, group_cluster(&snapshot, &coeffs_32b, 8, 1, 1.05, true));
+        assert_eq!(*b, group_cluster(&snapshot, &coeffs_70b, 8, 1, 1.05, true));
+    }
+
+    #[test]
+    fn grouping_cache_distinguishes_snapshots() {
+        let coeffs =
+            ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+        let cache = GroupingCache::default();
+        let mut cluster = Cluster::homogeneous(2, 8);
+        let a = cache.get_or_compute(&cluster.snapshot(), &coeffs, 8, 1.05, true);
+        cluster.set_rate(GpuId(0), 12.53);
+        let b = cache.get_or_compute(&cluster.snapshot(), &coeffs, 8, 1.05, true);
+        assert_ne!(*a, *b);
+        assert_eq!(cache.len(), 2);
+    }
+}

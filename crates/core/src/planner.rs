@@ -6,17 +6,26 @@
 //! The best plan under the cost model wins.  A per-phase timing breakdown is
 //! recorded so the planning-scalability experiment (Appendix A.2, Table 5) can
 //! be reproduced.
+//!
+//! Candidate (max-TP, DP, micro-batch, division-mode) tuples are independent,
+//! so the planner fans them across worker threads according to
+//! [`PlannerConfig::parallelism`] (see [`crate::parallel`]).  The reduction is
+//! performed in lattice-enumeration order with the serial comparison rule, so
+//! the chosen plan is bit-identical to the `Parallelism::Fixed(1)` reference
+//! path regardless of thread scheduling.
 
 use crate::assignment::assign_data;
 use crate::cost::CostModel;
 use crate::error::PlanError;
-use crate::grouping::group_cluster;
+use crate::grouping::GroupingResult;
 use crate::orchestration::{divide_groups, order_and_assign_layers};
+use crate::parallel::{fan_out, GroupingCache, Parallelism};
 use crate::plan::{ParallelizationPlan, PipelinePlan, TpGroup};
 use malleus_cluster::{ClusterSnapshot, GpuId};
 use malleus_model::ProfiledCoefficients;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Planner configuration.
@@ -46,6 +55,10 @@ pub struct PlannerConfig {
     /// Enable non-uniform stage partitioning (Eq. (4) pipeline division);
     /// disabled = equal group counts per pipeline.
     pub nonuniform_stages: bool,
+    /// Worker count for the candidate-lattice fan-out (`Auto` = one worker per
+    /// core, `Fixed(1)` = the serial reference path).  The chosen plan is
+    /// independent of this knob — see [`crate::parallel`].
+    pub parallelism: Parallelism,
 }
 
 impl Default for PlannerConfig {
@@ -61,6 +74,7 @@ impl Default for PlannerConfig {
             nonuniform_layers: true,
             nonuniform_data: true,
             nonuniform_stages: true,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -79,7 +93,13 @@ impl PlannerConfig {
     }
 }
 
-/// Wall-clock breakdown of one planning invocation (Appendix A.2, Table 5).
+/// Per-phase breakdown of one planning invocation (Appendix A.2, Table 5).
+///
+/// Durations are summed over every candidate evaluation, i.e. aggregate
+/// compute time per phase.  With one worker this equals elapsed wall-clock;
+/// with a parallel fan-out it exceeds it (measure elapsed time around
+/// `Planner::plan` when wall-clock matters, as the overlapped replanner and
+/// `exp_planning_scalability` do).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PlanTiming {
     /// GPU grouping (Theorem 1 + splitting enumeration).
@@ -118,6 +138,31 @@ pub struct PlanOutcome {
     pub timing: PlanTiming,
 }
 
+/// One point of the candidate lattice: a (grouping, DP, micro-batch,
+/// division-mode) tuple evaluated independently of every other point.
+#[derive(Debug, Clone)]
+struct Candidate {
+    /// Grouping result for this candidate's maximum TP degree (shared
+    /// read-only across all candidates of the same degree).
+    grouping: Arc<GroupingResult>,
+    /// The maximum TP degree the grouping was produced for.
+    max_tp: u32,
+    /// Data-parallel degree.
+    dp: usize,
+    /// Micro-batch size.
+    micro_batch: u64,
+    /// Whether the Eq. (4) MINLP division is used (vs equal group counts).
+    nonuniform_division: bool,
+}
+
+/// Result of evaluating one candidate: a feasible outcome or a failure reason,
+/// plus this candidate's share of the per-phase timing breakdown.
+struct CandidateEval {
+    outcome: Option<PlanOutcome>,
+    failure: Option<String>,
+    timing: PlanTiming,
+}
+
 /// The Malleus parallelization planner.
 #[derive(Debug, Clone)]
 pub struct Planner {
@@ -125,6 +170,9 @@ pub struct Planner {
     pub cost: CostModel,
     /// Configuration.
     pub config: PlannerConfig,
+    /// Memoized grouping results, shared read-only across candidate workers
+    /// and across re-planning rounds on unchanged snapshots.
+    grouping_memo: GroupingCache,
 }
 
 impl Planner {
@@ -133,7 +181,20 @@ impl Planner {
         Self {
             cost: CostModel::new(coeffs),
             config,
+            grouping_memo: GroupingCache::default(),
         }
+    }
+
+    /// Builder-style override of the parallelism knob (used by benches and the
+    /// equivalence test-suite to pin the worker count).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// The shared grouping memo (diagnostics / tests).
+    pub fn grouping_cache(&self) -> &GroupingCache {
+        &self.grouping_memo
     }
 
     /// Deduce the best parallelization plan for the observed straggler
@@ -159,69 +220,75 @@ impl Planner {
         }
     }
 
-    fn dp_candidates(&self, forced_dp: Option<usize>, num_groups: usize) -> Vec<usize> {
+    fn dp_candidates(
+        &self,
+        forced_dp: Option<usize>,
+        num_groups: usize,
+        healthy_gpus: usize,
+    ) -> Vec<usize> {
         if let Some(dp) = forced_dp {
             return vec![dp];
         }
         if let Some(c) = &self.config.candidate_dp {
             return c.clone();
         }
+        self.derived_dp_candidates(num_groups, healthy_gpus)
+    }
+
+    /// Derive the default candidate DP degrees: powers of two bounded by the
+    /// snapshot's *healthy* group count (and by the global batch), excluding
+    /// degrees that are certainly memory-infeasible on the surviving GPUs.
+    ///
+    /// Every DP replica must hold the full model states — at least
+    /// `total_params · (param_and_grad_bytes + optimizer_bytes / dp)` bytes
+    /// under ZeRO-1 sharding — and the `dp` replicas together can use at most
+    /// `healthy_gpus · per_gpu_capacity` bytes.  A degree violating that bound
+    /// cannot produce any plan passing [`CostModel::memory_feasible`], so a
+    /// degraded cluster (failed GPUs or nodes) no longer wastes planning time
+    /// enumerating DP degrees its healthy remainder can never host.
+    pub fn derived_dp_candidates(&self, num_groups: usize, healthy_gpus: usize) -> Vec<usize> {
+        let memory = &self.cost.coeffs.memory;
+        let total_params = self.cost.coeffs.spec.total_params() as f64;
+        let available = healthy_gpus as f64 * self.cost.coeffs.per_gpu_capacity();
         let mut dps = Vec::new();
         let mut dp = 1usize;
         while dp <= num_groups && (dp as u64) <= self.config.global_batch_size {
+            let needed = total_params
+                * (memory.param_and_grad_bytes_per_param * dp as f64
+                    + memory.optimizer_bytes_per_param);
+            if needed > available {
+                // The bound grows with dp, so every larger degree is also
+                // infeasible.
+                break;
+            }
             dps.push(dp);
             dp *= 2;
         }
         dps
     }
 
-    fn plan_with_dp(
+    /// Enumerate the candidate lattice in the serial reference order: TP
+    /// degrees in config order, then DP degrees, micro-batch sizes and
+    /// division modes.  The position in the returned vector is the candidate's
+    /// lattice index, which the reduction uses as the deterministic tie-break.
+    fn enumerate_candidates(
         &self,
-        snapshot: &ClusterSnapshot,
+        groupings: &[Arc<GroupingResult>],
         forced_dp: Option<usize>,
-    ) -> Result<PlanOutcome, PlanError> {
-        let usable = snapshot.rates.iter().filter(|r| r.is_finite()).count();
-        if usable == 0 {
-            return Err(PlanError::NoUsableGpus);
-        }
-        let num_layers = self.cost.coeffs.spec.num_layers as u64;
-        let b_candidates: Vec<u64> = self
-            .config
-            .candidate_micro_batch_sizes
-            .iter()
-            .copied()
-            .filter(|&b| b > 0 && self.config.global_batch_size % b == 0)
-            .collect();
-        if b_candidates.is_empty() {
-            return Err(PlanError::NoFeasiblePlan {
-                reason: "no candidate micro-batch size divides the global batch".into(),
-            });
-        }
-
-        let mut timing = PlanTiming::default();
-        let mut best: Option<PlanOutcome> = None;
-        let mut last_failure = String::from("no candidate configuration was feasible");
-
-        for &max_tp in &self.config.candidate_tp_degrees {
-            let t0 = Instant::now();
-            let grouping = group_cluster(
-                snapshot,
-                &self.cost.coeffs,
-                max_tp,
-                1,
-                self.config.straggler_threshold,
-                self.config.enable_group_splitting,
-            );
-            timing.grouping += t0.elapsed();
+        healthy_gpus: usize,
+        b_candidates: &[u64],
+    ) -> Vec<Candidate> {
+        let mut candidates = Vec::new();
+        for (tp_idx, &max_tp) in self.config.candidate_tp_degrees.iter().enumerate() {
+            let grouping = &groupings[tp_idx];
             if grouping.groups.is_empty() {
                 continue;
             }
-
-            for dp in self.dp_candidates(forced_dp, grouping.groups.len()) {
+            for dp in self.dp_candidates(forced_dp, grouping.groups.len(), healthy_gpus) {
                 if dp == 0 || dp > grouping.groups.len() {
                     continue;
                 }
-                for &b in &b_candidates {
+                for &b in b_candidates {
                     let total_micro_batches = self.config.global_batch_size / b;
                     if total_micro_batches < dp as u64 {
                         continue;
@@ -235,123 +302,230 @@ impl Planner {
                         &[false]
                     };
                     for &nonuniform_division in division_modes {
-                        let t0 = Instant::now();
-                        let division = match divide_groups(
-                            &self.cost,
-                            &grouping,
-                            snapshot,
+                        candidates.push(Candidate {
+                            grouping: Arc::clone(grouping),
+                            max_tp,
                             dp,
-                            total_micro_batches,
-                            b,
+                            micro_batch: b,
                             nonuniform_division,
-                        ) {
-                            Ok(d) => d,
-                            Err(e) => {
-                                last_failure = e.to_string();
-                                timing.division += t0.elapsed();
-                                continue;
-                            }
-                        };
-                        timing.division += t0.elapsed();
-
-                        let t0 = Instant::now();
-                        let mut assignments = Vec::with_capacity(dp);
-                        let mut feasible = true;
-                        for pipeline_groups in &division.pipelines {
-                            match order_and_assign_layers(
-                                &self.cost,
-                                pipeline_groups,
-                                snapshot,
-                                num_layers,
-                                b,
-                                dp as u32,
-                                !self.config.nonuniform_layers,
-                            ) {
-                                Some(a) => assignments.push(a),
-                                None => {
-                                    feasible = false;
-                                    break;
-                                }
-                            }
-                        }
-                        timing.ordering += t0.elapsed();
-                        if !feasible {
-                            last_failure = format!(
-                                "layer assignment infeasible for tp={max_tp} dp={dp} b={b}"
-                            );
-                            continue;
-                        }
-
-                        let t0 = Instant::now();
-                        let objectives: Vec<f64> =
-                            assignments.iter().map(|a| a.objective).collect();
-                        let Some(micro_batches) = assign_data(
-                            &objectives,
-                            total_micro_batches,
-                            !self.config.nonuniform_data,
-                        ) else {
-                            timing.assignment += t0.elapsed();
-                            continue;
-                        };
-                        // A pipeline with zero micro-batches would idle an entire
-                        // replica; reject such degenerate splits.
-                        if micro_batches.iter().any(|&m| m == 0) {
-                            timing.assignment += t0.elapsed();
-                            last_failure = format!(
-                                "data assignment starved a pipeline for tp={max_tp} dp={dp} b={b}"
-                            );
-                            continue;
-                        }
-                        timing.assignment += t0.elapsed();
-
-                        let pipelines: Vec<PipelinePlan> = assignments
-                            .iter()
-                            .zip(micro_batches.iter())
-                            .map(|(a, &m)| PipelinePlan {
-                                stages: a.stages.clone(),
-                                num_micro_batches: m,
-                            })
-                            .collect();
-
-                        let active: BTreeSet<GpuId> =
-                            pipelines.iter().flat_map(|p| p.gpus()).collect();
-                        let removed: Vec<GpuId> = (0..snapshot.num_gpus() as u32)
-                            .map(GpuId)
-                            .filter(|g| !active.contains(g))
-                            .collect();
-                        let plan = ParallelizationPlan {
-                            pipelines,
-                            micro_batch_size: b,
-                            removed_gpus: removed,
-                        };
-                        if plan
-                            .validate(num_layers as u32, self.config.global_batch_size)
-                            .is_err()
-                            || !self.cost.memory_feasible(&plan)
-                        {
-                            last_failure = format!(
-                                "candidate plan failed validation for tp={max_tp} dp={dp} b={b}"
-                            );
-                            continue;
-                        }
-
-                        let exact = self.cost.step_time(&plan, snapshot);
-                        let simplified = self.cost.step_time_simplified(&plan, snapshot);
-                        if best
-                            .as_ref()
-                            .map(|o| exact < o.estimated_step_time - 1e-12)
-                            .unwrap_or(true)
-                        {
-                            best = Some(PlanOutcome {
-                                plan,
-                                estimated_step_time: exact,
-                                estimated_step_time_simplified: simplified,
-                                chosen_tp: max_tp,
-                                dp,
-                                timing: PlanTiming::default(),
-                            });
-                        }
+                        });
                     }
+                }
+            }
+        }
+        candidates
+    }
+
+    /// Evaluate one lattice point: pipeline division, group ordering / layer
+    /// assignment, data assignment, validation, and cost estimation.  Entirely
+    /// self-contained — no shared mutable state — so candidates can run on any
+    /// worker thread.
+    fn evaluate_candidate(&self, snapshot: &ClusterSnapshot, cand: &Candidate) -> CandidateEval {
+        let num_layers = self.cost.coeffs.spec.num_layers as u64;
+        let (max_tp, dp, b) = (cand.max_tp, cand.dp, cand.micro_batch);
+        let total_micro_batches = self.config.global_batch_size / b;
+        let mut timing = PlanTiming::default();
+        let failed = |failure: Option<String>, timing: PlanTiming| CandidateEval {
+            outcome: None,
+            failure,
+            timing,
+        };
+
+        let t0 = Instant::now();
+        let division = match divide_groups(
+            &self.cost,
+            &cand.grouping,
+            snapshot,
+            dp,
+            total_micro_batches,
+            b,
+            cand.nonuniform_division,
+        ) {
+            Ok(d) => d,
+            Err(e) => {
+                timing.division += t0.elapsed();
+                return failed(Some(e.to_string()), timing);
+            }
+        };
+        timing.division += t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut assignments = Vec::with_capacity(dp);
+        let mut feasible = true;
+        for pipeline_groups in &division.pipelines {
+            match order_and_assign_layers(
+                &self.cost,
+                pipeline_groups,
+                snapshot,
+                num_layers,
+                b,
+                dp as u32,
+                !self.config.nonuniform_layers,
+            ) {
+                Some(a) => assignments.push(a),
+                None => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        timing.ordering += t0.elapsed();
+        if !feasible {
+            return failed(
+                Some(format!(
+                    "layer assignment infeasible for tp={max_tp} dp={dp} b={b}"
+                )),
+                timing,
+            );
+        }
+
+        let t0 = Instant::now();
+        let objectives: Vec<f64> = assignments.iter().map(|a| a.objective).collect();
+        let Some(micro_batches) = assign_data(
+            &objectives,
+            total_micro_batches,
+            !self.config.nonuniform_data,
+        ) else {
+            timing.assignment += t0.elapsed();
+            return failed(None, timing);
+        };
+        // A pipeline with zero micro-batches would idle an entire replica;
+        // reject such degenerate splits.
+        if micro_batches.iter().any(|&m| m == 0) {
+            timing.assignment += t0.elapsed();
+            return failed(
+                Some(format!(
+                    "data assignment starved a pipeline for tp={max_tp} dp={dp} b={b}"
+                )),
+                timing,
+            );
+        }
+        timing.assignment += t0.elapsed();
+
+        let pipelines: Vec<PipelinePlan> = assignments
+            .iter()
+            .zip(micro_batches.iter())
+            .map(|(a, &m)| PipelinePlan {
+                stages: a.stages.clone(),
+                num_micro_batches: m,
+            })
+            .collect();
+
+        let active: BTreeSet<GpuId> = pipelines.iter().flat_map(|p| p.gpus()).collect();
+        let removed: Vec<GpuId> = (0..snapshot.num_gpus() as u32)
+            .map(GpuId)
+            .filter(|g| !active.contains(g))
+            .collect();
+        let plan = ParallelizationPlan {
+            pipelines,
+            micro_batch_size: b,
+            removed_gpus: removed,
+        };
+        if plan
+            .validate(num_layers as u32, self.config.global_batch_size)
+            .is_err()
+            || !self.cost.memory_feasible(&plan)
+        {
+            return failed(
+                Some(format!(
+                    "candidate plan failed validation for tp={max_tp} dp={dp} b={b}"
+                )),
+                timing,
+            );
+        }
+
+        let exact = self.cost.step_time(&plan, snapshot);
+        let simplified = self.cost.step_time_simplified(&plan, snapshot);
+        CandidateEval {
+            outcome: Some(PlanOutcome {
+                plan,
+                estimated_step_time: exact,
+                estimated_step_time_simplified: simplified,
+                chosen_tp: max_tp,
+                dp,
+                timing: PlanTiming::default(),
+            }),
+            failure: None,
+            timing,
+        }
+    }
+
+    fn plan_with_dp(
+        &self,
+        snapshot: &ClusterSnapshot,
+        forced_dp: Option<usize>,
+    ) -> Result<PlanOutcome, PlanError> {
+        let usable = snapshot.rates.iter().filter(|r| r.is_finite()).count();
+        if usable == 0 {
+            return Err(PlanError::NoUsableGpus);
+        }
+        let b_candidates: Vec<u64> = self
+            .config
+            .candidate_micro_batch_sizes
+            .iter()
+            .copied()
+            .filter(|&b| b > 0 && self.config.global_batch_size % b == 0)
+            .collect();
+        if b_candidates.is_empty() {
+            return Err(PlanError::NoFeasiblePlan {
+                reason: "no candidate micro-batch size divides the global batch".into(),
+            });
+        }
+
+        let workers = self.config.parallelism.workers();
+        let mut timing = PlanTiming::default();
+
+        // Phase 1 — grouping: memoized per (snapshot, TP degree) and fanned
+        // across workers; each grouping is pure, so the fan-out is
+        // order-independent.
+        let tp_degrees = &self.config.candidate_tp_degrees;
+        let grouped: Vec<(Arc<GroupingResult>, Duration)> =
+            fan_out(tp_degrees.len(), workers.min(tp_degrees.len()), |i| {
+                let t0 = Instant::now();
+                let grouping = self.grouping_memo.get_or_compute(
+                    snapshot,
+                    &self.cost.coeffs,
+                    tp_degrees[i],
+                    self.config.straggler_threshold,
+                    self.config.enable_group_splitting,
+                );
+                (grouping, t0.elapsed())
+            });
+        let groupings: Vec<Arc<GroupingResult>> =
+            grouped.iter().map(|(g, _)| Arc::clone(g)).collect();
+        for (_, elapsed) in &grouped {
+            timing.grouping += *elapsed;
+        }
+
+        // Phase 2 — enumerate the lattice in the serial reference order.
+        let candidates = self.enumerate_candidates(&groupings, forced_dp, usable, &b_candidates);
+
+        // Phase 3 — evaluate candidates across workers; `fan_out` returns the
+        // results indexed by lattice position, never by completion order.
+        let evals = fan_out(candidates.len(), workers, |i| {
+            self.evaluate_candidate(snapshot, &candidates[i])
+        });
+
+        // Phase 4 — deterministic reduction: fold in lattice order with the
+        // serial comparison (strictly better by > 1e-12 s replaces the
+        // incumbent), so ties resolve to the smallest lattice index and the
+        // winner is independent of thread scheduling.
+        let mut best: Option<PlanOutcome> = None;
+        let mut last_failure = String::from("no candidate configuration was feasible");
+        for eval in evals {
+            timing.division += eval.timing.division;
+            timing.ordering += eval.timing.ordering;
+            timing.assignment += eval.timing.assignment;
+            if let Some(reason) = eval.failure {
+                last_failure = reason;
+            }
+            if let Some(outcome) = eval.outcome {
+                if best
+                    .as_ref()
+                    .map(|o| outcome.estimated_step_time < o.estimated_step_time - 1e-12)
+                    .unwrap_or(true)
+                {
+                    best = Some(outcome);
                 }
             }
         }
@@ -511,6 +685,76 @@ mod tests {
             p.plan(&cluster.snapshot()),
             Err(PlanError::NoUsableGpus)
         ));
+    }
+
+    #[test]
+    fn parallel_plan_is_bit_identical_to_serial_oracle() {
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let sit = PaperSituation::S3.situation(&cluster);
+        cluster.apply_situation(&sit.rates);
+        let snapshot = cluster.snapshot();
+        let serial = planner(ModelSpec::llama2_32b(), 64).with_parallelism(Parallelism::Fixed(1));
+        let parallel = planner(ModelSpec::llama2_32b(), 64).with_parallelism(Parallelism::Fixed(4));
+        let a = serial.plan(&snapshot).expect("serial plan");
+        let b = parallel.plan(&snapshot).expect("parallel plan");
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.chosen_tp, b.chosen_tp);
+        assert_eq!(a.dp, b.dp);
+        assert_eq!(
+            a.estimated_step_time.to_bits(),
+            b.estimated_step_time.to_bits()
+        );
+        assert_eq!(
+            a.estimated_step_time_simplified.to_bits(),
+            b.estimated_step_time_simplified.to_bits()
+        );
+    }
+
+    #[test]
+    fn more_workers_than_candidates_is_harmless() {
+        let cluster = Cluster::homogeneous(1, 8);
+        let p = planner(ModelSpec::llama2_7b(), 8).with_parallelism(Parallelism::Fixed(64));
+        let outcome = p.plan(&cluster.snapshot()).expect("plan");
+        outcome.plan.validate(32, 8).unwrap();
+    }
+
+    #[test]
+    fn grouping_memo_is_reused_across_plan_calls() {
+        let cluster = Cluster::homogeneous(2, 8);
+        let p = planner(ModelSpec::llama2_13b(), 64);
+        let first = p.plan(&cluster.snapshot()).expect("plan");
+        let entries = p.grouping_cache().len();
+        assert!(entries > 0);
+        let second = p.plan(&cluster.snapshot()).expect("plan");
+        // Same snapshot: no new entries, identical plan.
+        assert_eq!(p.grouping_cache().len(), entries);
+        assert_eq!(first.plan, second.plan);
+    }
+
+    #[test]
+    fn degraded_cluster_prunes_infeasible_dp_degrees() {
+        // Regression test for the default DP derivation: with one of four
+        // nodes failed, 24 healthy GPUs cannot hold 16 replicas of the 32B
+        // model states (ZeRO-1 needs ~(4·16+12)·P bytes in total), so dp=16
+        // must not be enumerated even though the TP-1 grouping offers 24
+        // groups.  On the healthy cluster the same degree stays available.
+        let p = planner(ModelSpec::llama2_32b(), 64);
+        let healthy = p.derived_dp_candidates(32, 32);
+        assert!(healthy.contains(&16), "healthy candidates: {healthy:?}");
+        let degraded = p.derived_dp_candidates(24, 24);
+        assert!(!degraded.contains(&16), "degraded candidates: {degraded:?}");
+        assert!(degraded.contains(&8));
+        // End-to-end: the degraded cluster still plans fine.
+        let mut cluster = Cluster::homogeneous(4, 8);
+        for g in 24..32 {
+            cluster.set_rate(GpuId(g), f64::INFINITY);
+        }
+        let outcome = p.plan(&cluster.snapshot()).expect("plan");
+        assert!(outcome.dp <= 8);
+        assert_eq!(
+            outcome.plan.active_gpus().len() + outcome.plan.removed_gpus.len(),
+            32
+        );
     }
 
     #[test]

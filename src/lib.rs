@@ -56,7 +56,8 @@ pub mod prelude {
         Trace, TracePhase,
     };
     pub use malleus_core::{
-        plan_migration, CostModel, ParallelizationPlan, PlanOutcome, Planner, PlannerConfig,
+        plan_migration, CostModel, Parallelism, ParallelizationPlan, PlanOutcome, Planner,
+        PlannerConfig,
     };
     pub use malleus_model::{HardwareParams, ModelSpec, ProfiledCoefficients};
     pub use malleus_runtime::{Executor, Profiler, SessionReport, TrainingSession};

@@ -1,0 +1,103 @@
+//! Deterministic-equivalence harness for the parallel candidate-lattice
+//! planner.
+//!
+//! The serial path (`Parallelism::Fixed(1)`) is the reference oracle; the
+//! parallel path must return **byte-identical** plans — same
+//! `ParallelizationPlan`, same chosen TP/DP, bit-equal cost estimates — for
+//! every golden workload (32B/70B/110B) under every paper straggler situation
+//! S1–S6.  CI runs this suite twice, with `MALLEUS_PLANNER_PARALLELISM=1` and
+//! `=auto`; without the override the candidate path is pinned to 4 workers so
+//! the fan-out is exercised even on single-core hosts.
+
+mod common;
+
+use malleus::prelude::*;
+
+const SITUATIONS: [PaperSituation; 6] = [
+    PaperSituation::S1,
+    PaperSituation::S2,
+    PaperSituation::S3,
+    PaperSituation::S4,
+    PaperSituation::S5,
+    PaperSituation::S6,
+];
+
+/// The worker knob for the candidate side: the CI override if set, else a
+/// fixed 4-worker fan-out.
+fn candidate_parallelism() -> Parallelism {
+    Parallelism::from_env_or(Parallelism::Fixed(4))
+}
+
+fn assert_golden_equivalence(spec: ModelSpec, nodes: u32) {
+    let serial = common::planner_for(&spec, 64).with_parallelism(Parallelism::Fixed(1));
+    let parallel = common::planner_for(&spec, 64).with_parallelism(candidate_parallelism());
+    for situation in SITUATIONS {
+        let snapshot = common::snapshot_for(nodes, situation);
+        let oracle = serial
+            .plan(&snapshot)
+            .unwrap_or_else(|e| panic!("{} serial under {situation:?}: {e}", spec.name));
+        let candidate = parallel
+            .plan(&snapshot)
+            .unwrap_or_else(|e| panic!("{} parallel under {situation:?}: {e}", spec.name));
+        assert_eq!(
+            oracle.plan, candidate.plan,
+            "{} under {situation:?}: plans diverge",
+            spec.name
+        );
+        assert_eq!(oracle.chosen_tp, candidate.chosen_tp);
+        assert_eq!(oracle.dp, candidate.dp);
+        assert_eq!(
+            oracle.estimated_step_time.to_bits(),
+            candidate.estimated_step_time.to_bits(),
+            "{} under {situation:?}: exact estimates diverge",
+            spec.name
+        );
+        assert_eq!(
+            oracle.estimated_step_time_simplified.to_bits(),
+            candidate.estimated_step_time_simplified.to_bits(),
+            "{} under {situation:?}: simplified estimates diverge",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn golden_plans_32b_match_serial_oracle_across_all_situations() {
+    assert_golden_equivalence(ModelSpec::llama2_32b(), 4);
+}
+
+#[test]
+fn golden_plans_70b_match_serial_oracle_across_all_situations() {
+    assert_golden_equivalence(ModelSpec::llama2_70b(), 8);
+}
+
+#[test]
+fn golden_plans_110b_match_serial_oracle_across_all_situations() {
+    assert_golden_equivalence(ModelSpec::llama2_110b(), 8);
+}
+
+#[test]
+fn equivalence_holds_under_failures_and_forced_dp() {
+    // Replanning fixes the DP degree; the parallel path must agree with the
+    // oracle on the constrained lattice too, including when GPUs fail.
+    let spec = ModelSpec::llama2_32b();
+    let serial = common::planner_for(&spec, 64).with_parallelism(Parallelism::Fixed(1));
+    let parallel = common::planner_for(&spec, 64).with_parallelism(candidate_parallelism());
+    let previous = common::healthy_plan_32b();
+    let mut cluster = Cluster::homogeneous(4, 8);
+    cluster.set_rate(GpuId(0), StragglerLevel::Level3.rate());
+    cluster.set_rate(GpuId(13), StragglerLevel::Failed.rate());
+    let snapshot = cluster.snapshot();
+    let a = serial
+        .replan(&snapshot, &previous.plan)
+        .expect("serial replan");
+    let b = parallel
+        .replan(&snapshot, &previous.plan)
+        .expect("parallel replan");
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.dp, b.dp);
+    assert_eq!(
+        a.estimated_step_time.to_bits(),
+        b.estimated_step_time.to_bits()
+    );
+}

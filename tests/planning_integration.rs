@@ -1,22 +1,12 @@
 //! Integration tests of the full planning pipeline on the paper's scenarios.
 
+mod common;
+
+use common::{planner_for as shared_planner_for, snapshot_for};
 use malleus::prelude::*;
 
 fn planner_for(spec: ModelSpec, batch: u64) -> Planner {
-    Planner::new(
-        ProfiledCoefficients::derive(spec, HardwareParams::a800_cluster()),
-        PlannerConfig {
-            global_batch_size: batch,
-            ..PlannerConfig::default()
-        },
-    )
-}
-
-fn snapshot_for(nodes: u32, situation: PaperSituation) -> ClusterSnapshot {
-    let mut cluster = Cluster::homogeneous(nodes, 8);
-    let s = situation.situation(&cluster);
-    cluster.apply_situation(&s.rates);
-    cluster.snapshot()
+    shared_planner_for(&spec, batch)
 }
 
 #[test]
@@ -149,17 +139,16 @@ fn replanning_under_each_situation_improves_over_stale_plan() {
 
 #[test]
 fn theoretic_optimum_lower_bounds_malleus_simulated_time() {
-    let coeffs =
-        ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+    let coeffs = common::coeffs_32b();
     let planner = planner_for(ModelSpec::llama2_32b(), 64);
     let healthy = snapshot_for(4, PaperSituation::Normal);
-    let healthy_time = simulate_step(&coeffs, &planner.plan(&healthy).unwrap().plan, &healthy)
+    let healthy_time = simulate_step(coeffs, &common::healthy_plan_32b().plan, &healthy)
         .unwrap()
         .step_time;
     for situation in [PaperSituation::S1, PaperSituation::S4, PaperSituation::S6] {
         let snapshot = snapshot_for(4, situation);
         let outcome = planner.plan(&snapshot).unwrap();
-        let simulated = simulate_step(&coeffs, &outcome.plan, &snapshot)
+        let simulated = simulate_step(coeffs, &outcome.plan, &snapshot)
             .unwrap()
             .step_time;
         let optimum = malleus::baselines::theoretic_optimal_time(healthy_time, &snapshot);

@@ -1,6 +1,8 @@
 //! Cross-crate property-based tests on the planner, grouping and migration
 //! invariants, driven by randomly generated straggler situations.
 
+mod common;
+
 use malleus::core::grouping::group_cluster;
 use malleus::prelude::*;
 use proptest::prelude::*;
@@ -20,10 +22,7 @@ fn snapshot_with(rates: &[(u32, f64)]) -> (Cluster, ClusterSnapshot) {
 }
 
 fn planner_32b() -> Planner {
-    Planner::new(
-        ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster()),
-        PlannerConfig::default(),
-    )
+    common::planner_for(&ModelSpec::llama2_32b(), 64)
 }
 
 proptest! {
@@ -92,8 +91,8 @@ proptest! {
         let planner = planner_32b();
         let plan_a = planner.plan(&snap_a).unwrap().plan;
         let plan_b = planner.replan(&snap_b, &plan_a).unwrap().plan;
-        let coeffs = ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
-        let migration = plan_migration(&plan_a, &plan_b, &coeffs);
+        let coeffs = common::coeffs_32b();
+        let migration = plan_migration(&plan_a, &plan_b, coeffs);
         let traffic = migration.per_gpu_traffic();
         let received: f64 = traffic.values().map(|(r, _)| r).sum();
         let sent: f64 = traffic.values().map(|(_, s)| s).sum();
@@ -103,7 +102,7 @@ proptest! {
             prop_assert!(mv.bytes > 0.0);
         }
         // Migrating a plan onto itself is always free.
-        prop_assert!(plan_migration(&plan_b, &plan_b, &coeffs).is_empty());
+        prop_assert!(plan_migration(&plan_b, &plan_b, coeffs).is_empty());
     }
 
     /// The simulated step time never beats the theoretic optimum and a plan's
@@ -112,17 +111,51 @@ proptest! {
     fn simulated_time_brackets(rates in arb_rates()) {
         let (_cluster, snapshot) = snapshot_with(&rates);
         let planner = planner_32b();
-        let coeffs = ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+        let coeffs = common::coeffs_32b();
         let outcome = planner.plan(&snapshot).unwrap();
-        let report = simulate_step(&coeffs, &outcome.plan, &snapshot).expect("plan fits");
-        // Healthy reference for the theoretic optimum.
+        let report = simulate_step(coeffs, &outcome.plan, &snapshot).expect("plan fits");
+        // Healthy reference for the theoretic optimum (shared fixture: planned
+        // once per binary instead of once per case).
         let healthy = Cluster::homogeneous(4, 8).snapshot();
-        let healthy_plan = planner.plan(&healthy).unwrap();
-        let healthy_time = simulate_step(&coeffs, &healthy_plan.plan, &healthy).unwrap().step_time;
+        let healthy_plan = common::healthy_plan_32b();
+        let healthy_time = simulate_step(coeffs, &healthy_plan.plan, &healthy).unwrap().step_time;
         let optimum = malleus::baselines::theoretic_optimal_time(healthy_time, &snapshot);
         prop_assert!(report.step_time >= optimum * 0.95,
             "simulated {} cannot beat the theoretic optimum {}", report.step_time, optimum);
         let ratio = report.step_time / outcome.estimated_step_time;
         prop_assert!(ratio > 0.8 && ratio < 1.6, "estimate {} vs simulated {}", outcome.estimated_step_time, report.step_time);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Determinism under scheduling: for random clusters and a random worker
+    /// count in {1, 2, 4, 8}, `plan()` returns bit-identical results across
+    /// thread counts and across two repeated runs of the same planner (the
+    /// second run additionally hits the warm grouping memo).
+    #[test]
+    fn planning_is_deterministic_under_scheduling(
+        rates in arb_rates(),
+        workers in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let (_cluster, snapshot) = snapshot_with(&rates);
+        let oracle = planner_32b().with_parallelism(Parallelism::Fixed(1));
+        let candidate = planner_32b().with_parallelism(Parallelism::Fixed(workers));
+        let a = oracle.plan(&snapshot).unwrap();
+        let b = candidate.plan(&snapshot).unwrap();
+        let c = candidate.plan(&snapshot).unwrap();
+        prop_assert_eq!(&a.plan, &b.plan, "workers={} diverged from oracle", workers);
+        prop_assert_eq!(&b.plan, &c.plan, "repeated run diverged at workers={}", workers);
+        prop_assert_eq!(a.chosen_tp, b.chosen_tp);
+        prop_assert_eq!(a.dp, b.dp);
+        prop_assert_eq!(
+            a.estimated_step_time.to_bits(),
+            b.estimated_step_time.to_bits()
+        );
+        prop_assert_eq!(
+            b.estimated_step_time.to_bits(),
+            c.estimated_step_time.to_bits()
+        );
     }
 }

@@ -1,20 +1,19 @@
 //! Integration tests of end-to-end sessions and the baseline comparisons
 //! (the claims behind Figure 7, Table 2 and Figure 8).
 
+mod common;
+
 use malleus::baselines::{
     restart::RestartFamily, DeepSpeedPlanner, MegatronPlanner, OobleckPlanner, RestartPlanner,
 };
 use malleus::prelude::*;
 
 fn coeffs_32b() -> ProfiledCoefficients {
-    ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster())
+    common::coeffs_32b().clone()
 }
 
 fn snapshot_for(situation: PaperSituation) -> ClusterSnapshot {
-    let mut cluster = Cluster::homogeneous(4, 8);
-    let s = situation.situation(&cluster);
-    cluster.apply_situation(&s.rates);
-    cluster.snapshot()
+    common::snapshot_for(4, situation)
 }
 
 #[test]
