@@ -39,6 +39,6 @@ pub use cost::CostModel;
 pub use error::PlanError;
 pub use grouping::{group_cluster, GroupingResult};
 pub use migration::{plan_migration, MigrationPlan, SliceMove};
-pub use parallel::{GroupingCache, Parallelism};
+pub use parallel::{GroupingCache, Parallelism, ParseParallelismError};
 pub use plan::{ParallelizationPlan, PipelinePlan, StagePlan, TpGroup};
 pub use planner::{PlanOutcome, PlanTiming, Planner, PlannerConfig};

@@ -192,6 +192,17 @@ impl Planner {
         self
     }
 
+    /// Builder-style injection of a shared grouping memo.  Cloning a
+    /// [`GroupingCache`] shares its storage, so planners built for different
+    /// tenants (e.g. by the planning service) can pool their grouping work;
+    /// the memo confirms hits against the full snapshot *and* coefficients,
+    /// so sharing across models degrades to recomputation, never wrong
+    /// results.
+    pub fn with_grouping_cache(mut self, cache: GroupingCache) -> Self {
+        self.grouping_memo = cache;
+        self
+    }
+
     /// The shared grouping memo (diagnostics / tests).
     pub fn grouping_cache(&self) -> &GroupingCache {
         &self.grouping_memo

@@ -21,5 +21,5 @@ pub mod session;
 
 pub use executor::Executor;
 pub use profiler::{Profiler, ProfilerObservation};
-pub use replanner::{replan_overlapped, ReplanOutcome};
+pub use replanner::{replan_overlapped, replan_overlapped_shared, ReplanOutcome};
 pub use session::{PhaseReport, RuntimeError, SessionReport, TrainingSession};

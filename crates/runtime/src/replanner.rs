@@ -16,6 +16,7 @@
 
 use malleus_cluster::ClusterSnapshot;
 use malleus_core::{ParallelizationPlan, PlanError, PlanOutcome, Planner};
+use malleus_service::{PlanRequest, PlanService, ServiceError};
 use serde::{Deserialize, Serialize};
 
 /// Result of an overlapped re-planning round.
@@ -53,6 +54,48 @@ pub fn replan_overlapped(
     let plan_changed = outcome.plan != *previous;
     Ok(ReplanOutcome {
         outcome,
+        planning_time,
+        stall_time,
+        plan_changed,
+    })
+}
+
+/// Service-backed overlapped re-planning: like [`replan_overlapped`], but the
+/// planner invocation goes through a shared [`PlanService`], so N sessions
+/// replanning after the same cluster event (same snapshot, same coefficients,
+/// same configuration) pay for one planner run and share the cached plan.
+///
+/// Mirrors `Planner::replan` exactly: first request the plan with the
+/// previous DP degree pinned (the paper maintains DP across adjustments,
+/// footnote 2); if no feasible plan exists with that degree, fall back to the
+/// unconstrained search.  Backpressure ([`ServiceError::Overloaded`]) is
+/// *not* treated as infeasibility — it propagates so the session can back off
+/// rather than silently re-running the expensive fallback.
+pub fn replan_overlapped_shared(
+    service: &PlanService,
+    planner: &Planner,
+    snapshot: &ClusterSnapshot,
+    previous: &ParallelizationPlan,
+    current_step_time: f64,
+) -> Result<ReplanOutcome, ServiceError> {
+    let t0 = std::time::Instant::now();
+    let mut pinned_config = planner.config.clone();
+    pinned_config.fixed_dp = Some(previous.dp());
+    let pinned = PlanRequest::new(planner.cost.coeffs.clone(), snapshot.clone(), pinned_config);
+    let outcome = match service.plan(&pinned) {
+        Ok(outcome) => outcome,
+        Err(ServiceError::Plan(_)) => service.plan(&PlanRequest::new(
+            planner.cost.coeffs.clone(),
+            snapshot.clone(),
+            planner.config.clone(),
+        ))?,
+        Err(e) => return Err(e),
+    };
+    let planning_time = t0.elapsed().as_secs_f64();
+    let stall_time = (planning_time - current_step_time).max(0.0);
+    let plan_changed = outcome.plan != *previous;
+    Ok(ReplanOutcome {
+        outcome: (*outcome).clone(),
         planning_time,
         stall_time,
         plan_changed,
@@ -123,6 +166,54 @@ mod tests {
             b.outcome.estimated_step_time.to_bits()
         );
         assert_eq!(a.plan_changed, b.plan_changed);
+    }
+
+    #[test]
+    fn shared_replanning_matches_direct_replanning_and_amortizes_work() {
+        use malleus_service::{PlanService, ServiceConfig};
+        let p = planner();
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let initial = p.plan(&cluster.snapshot()).unwrap();
+        cluster.set_rate(GpuId(0), 5.42);
+        let snapshot = cluster.snapshot();
+        let direct = replan_overlapped(&p, &snapshot, &initial.plan, 12.0).unwrap();
+        let service = PlanService::new(ServiceConfig::default());
+        // Two tenants replanning after the same cluster event: one planner
+        // invocation, bit-identical to the direct path for both.
+        for _ in 0..2 {
+            let shared =
+                replan_overlapped_shared(&service, &p, &snapshot, &initial.plan, 12.0).unwrap();
+            assert_eq!(shared.outcome.plan, direct.outcome.plan);
+            assert_eq!(shared.outcome.dp, direct.outcome.dp);
+            assert_eq!(
+                shared.outcome.estimated_step_time.to_bits(),
+                direct.outcome.estimated_step_time.to_bits()
+            );
+            assert_eq!(shared.plan_changed, direct.plan_changed);
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.planner_invocations, 1);
+        assert_eq!(metrics.hits, 1);
+    }
+
+    #[test]
+    fn shared_replanning_falls_back_when_pinned_dp_is_infeasible() {
+        use malleus_service::{PlanService, ServiceConfig};
+        let p = planner();
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let initial = p.plan(&cluster.snapshot()).unwrap();
+        // Fail three of four nodes: the previous DP degree cannot survive and
+        // the documented fallback re-opens the DP enumeration.
+        for g in 8..32 {
+            cluster.set_rate(GpuId(g), f64::INFINITY);
+        }
+        let snapshot = cluster.snapshot();
+        let direct = p.replan(&snapshot, &initial.plan).unwrap();
+        let service = PlanService::new(ServiceConfig::default());
+        let shared =
+            replan_overlapped_shared(&service, &p, &snapshot, &initial.plan, 12.0).unwrap();
+        assert_eq!(shared.outcome.plan, direct.plan);
+        assert_eq!(shared.outcome.dp, direct.dp);
     }
 
     #[test]

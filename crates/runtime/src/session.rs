@@ -12,12 +12,14 @@
 
 use crate::executor::Executor;
 use crate::profiler::Profiler;
-use crate::replanner::replan_overlapped;
+use crate::replanner::{replan_overlapped, replan_overlapped_shared, ReplanOutcome};
 use malleus_cluster::{Cluster, ClusterSnapshot, Trace};
-use malleus_core::{PlanError, Planner, PlannerConfig};
+use malleus_core::{PlanError, PlanOutcome, Planner, PlannerConfig};
 use malleus_model::ProfiledCoefficients;
+use malleus_service::{PlanRequest, PlanService, ServiceError};
 use malleus_sim::restart_time;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Errors produced while driving a training session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +43,12 @@ impl std::error::Error for RuntimeError {}
 
 impl From<PlanError> for RuntimeError {
     fn from(e: PlanError) -> Self {
+        RuntimeError::Planning(e.to_string())
+    }
+}
+
+impl From<ServiceError> for RuntimeError {
+    fn from(e: ServiceError) -> Self {
         RuntimeError::Planning(e.to_string())
     }
 }
@@ -115,6 +123,10 @@ pub struct TrainingSession {
     pub profiler: Profiler,
     /// The simulated cluster (true straggling rates live here).
     pub cluster: Cluster,
+    /// Optional shared planning service: when set, every planner invocation
+    /// (initial plan and re-planning) is routed through it, so concurrent
+    /// sessions planning against the same snapshot share one computation.
+    service: Option<Arc<PlanService>>,
 }
 
 impl TrainingSession {
@@ -125,13 +137,85 @@ impl TrainingSession {
             executor: Executor::new(coeffs),
             profiler: Profiler::default(),
             cluster,
+            service: None,
         }
+    }
+
+    /// Route this session's planning through a shared [`PlanService`]
+    /// (multi-tenant path: N sessions replanning after the same cluster event
+    /// pay for one planner invocation).  The produced plans are byte-identical
+    /// to the direct path, so session reports differ only in planning
+    /// wall-clock.
+    pub fn with_service(mut self, service: Arc<PlanService>) -> Self {
+        self.service = Some(service);
+        self
     }
 
     /// Observed snapshot: what the profiler believes (here: true rates, since
     /// the simulator's measurements are exact).
     fn observed(&self) -> ClusterSnapshot {
         self.cluster.snapshot()
+    }
+
+    /// Initial planning, optionally via the shared service.
+    ///
+    /// Service backpressure ([`ServiceError::Overloaded`]) is transient and
+    /// must not kill a training session: the session degrades to its own
+    /// direct planner — the plan is byte-identical, it just forgoes the
+    /// shared cache for that one invocation.  Planner infeasibility and
+    /// service-internal failures remain fatal errors.
+    fn plan_initial(&self, snapshot: &ClusterSnapshot) -> Result<PlanOutcome, RuntimeError> {
+        match &self.service {
+            Some(service) => {
+                let request = PlanRequest::new(
+                    self.planner.cost.coeffs.clone(),
+                    snapshot.clone(),
+                    self.planner.config.clone(),
+                );
+                match service.plan(&request) {
+                    Ok(outcome) => Ok((*outcome).clone()),
+                    Err(ServiceError::Overloaded { .. }) => Ok(self.planner.plan(snapshot)?),
+                    Err(e) => Err(e.into()),
+                }
+            }
+            None => Ok(self.planner.plan(snapshot)?),
+        }
+    }
+
+    /// Overlapped re-planning, optionally via the shared service (with the
+    /// same overload degradation as [`TrainingSession::plan_initial`]).
+    fn replan(
+        &self,
+        snapshot: &ClusterSnapshot,
+        previous: &malleus_core::ParallelizationPlan,
+        current_step_time: f64,
+    ) -> Result<ReplanOutcome, RuntimeError> {
+        match &self.service {
+            Some(service) => {
+                match replan_overlapped_shared(
+                    service,
+                    &self.planner,
+                    snapshot,
+                    previous,
+                    current_step_time,
+                ) {
+                    Ok(outcome) => Ok(outcome),
+                    Err(ServiceError::Overloaded { .. }) => Ok(replan_overlapped(
+                        &self.planner,
+                        snapshot,
+                        previous,
+                        current_step_time,
+                    )?),
+                    Err(e) => Err(e.into()),
+                }
+            }
+            None => Ok(replan_overlapped(
+                &self.planner,
+                snapshot,
+                previous,
+                current_step_time,
+            )?),
+        }
     }
 
     /// Run the session over a trace.
@@ -145,7 +229,7 @@ impl TrainingSession {
         if let Some(first) = trace.phases.first() {
             self.cluster.apply_situation(&first.situation.rates);
         }
-        let initial = self.planner.plan(&self.observed())?;
+        let initial = self.plan_initial(&self.observed())?;
         self.executor.instantiate(initial.plan.clone());
 
         for (index, phase) in trace.phases.iter().enumerate() {
@@ -184,8 +268,7 @@ impl TrainingSession {
                     .current_plan()
                     .expect("executor always holds a plan after instantiate")
                     .clone();
-                let replan = replan_overlapped(
-                    &self.planner,
+                let replan = self.replan(
                     &snapshot,
                     &previous,
                     if step_before.is_finite() {
@@ -321,6 +404,94 @@ mod tests {
         assert!(failed_phase.restart_time > 0.0);
         assert!(failed_phase.standby_gpus >= 1);
         assert!(failed_phase.step_time.is_finite());
+    }
+
+    #[test]
+    fn sessions_sharing_a_service_replan_once_per_cluster_event() {
+        use malleus_service::{PlanService, ServiceConfig};
+        let cluster = Cluster::homogeneous(4, 8);
+        let trace = short_trace(&cluster, &[PaperSituation::Normal, PaperSituation::S3]);
+        // Reference: a serviceless session over the same trace.
+        let baseline = session(cluster.clone()).run(&trace).expect("baseline");
+
+        let service = Arc::new(PlanService::new(ServiceConfig::default()));
+        let tenants = 3;
+        let reports: Vec<SessionReport> = (0..tenants)
+            .map(|_| {
+                let mut s = session(cluster.clone()).with_service(Arc::clone(&service));
+                s.run(&trace).expect("service-backed session")
+            })
+            .collect();
+        for report in &reports {
+            assert_eq!(report.phases.len(), baseline.phases.len());
+            for (ours, theirs) in report.phases.iter().zip(baseline.phases.iter()) {
+                // Identical plans (and therefore simulated step times); only
+                // planning wall-clock may differ between the paths.
+                assert_eq!(ours.step_time, theirs.step_time);
+                assert_eq!(ours.dp, theirs.dp);
+                assert_eq!(ours.plan_description, theirs.plan_description);
+            }
+        }
+        let metrics = service.metrics();
+        // Each tenant plans the same (snapshot, config) sequence: every
+        // distinct planning problem is computed once and shared.
+        assert!(
+            metrics.planner_invocations < metrics.requests,
+            "invocations {} must be amortized over {} requests",
+            metrics.planner_invocations,
+            metrics.requests
+        );
+        assert!(metrics.hits + metrics.coalesced > 0);
+    }
+
+    #[test]
+    fn session_survives_service_backpressure_by_planning_locally() {
+        use malleus_model::{HardwareParams, ModelSpec};
+        use malleus_service::{PlanRequest, PlanService, ServiceConfig};
+        let cluster = Cluster::homogeneous(4, 8);
+        let trace = short_trace(&cluster, &[PaperSituation::Normal, PaperSituation::S2]);
+        let baseline = session(cluster.clone()).run(&trace).expect("baseline");
+        // One execution slot, no wait queue: while a foreign tenant holds the
+        // slot, every session request is shed with Overloaded.
+        let service = Arc::new(PlanService::new(ServiceConfig {
+            max_concurrent_plans: 1,
+            max_queue_depth: 0,
+            ..ServiceConfig::default()
+        }));
+        let blocker = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                // 110B on 64 GPUs: slow enough to hold the slot for a while.
+                let coeffs = ProfiledCoefficients::derive(
+                    ModelSpec::llama2_110b(),
+                    HardwareParams::a800_cluster(),
+                );
+                let request = PlanRequest::new(
+                    coeffs,
+                    Cluster::homogeneous(8, 8).snapshot(),
+                    PlannerConfig::default(),
+                );
+                service.plan(&request).expect("blocker plan");
+            })
+        };
+        while service.metrics().active_plans == 0 {
+            std::thread::yield_now();
+        }
+        // The session must degrade to its own planner (byte-identical plans)
+        // instead of dying on the transient overload.
+        let report = session(cluster)
+            .with_service(Arc::clone(&service))
+            .run(&trace)
+            .expect("session must survive backpressure");
+        for (ours, theirs) in report.phases.iter().zip(baseline.phases.iter()) {
+            assert_eq!(ours.step_time, theirs.step_time);
+            assert_eq!(ours.dp, theirs.dp);
+        }
+        assert!(
+            service.metrics().rejected > 0,
+            "the saturated service should have shed at least the first request"
+        );
+        blocker.join().unwrap();
     }
 
     #[test]

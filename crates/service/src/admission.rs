@@ -1,0 +1,122 @@
+//! Bounded admission for planner invocations.
+//!
+//! The service caps how many planner invocations execute at once
+//! (`max_concurrent_plans`) so the total planner thread count stays bounded
+//! however many tenants call in: each admitted invocation fans its candidate
+//! lattice over `worker_budget / max_concurrent_plans` threads via
+//! `malleus_core::parallel`.  Requests beyond the cap queue on a condvar up
+//! to `max_queue_depth` waiters; past that the gate sheds load by returning
+//! [`ServiceError::Overloaded`] — the backpressure knob.
+
+use crate::ServiceError;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct GateState {
+    active: usize,
+    waiting: usize,
+}
+
+/// Counting semaphore with a bounded wait queue.
+#[derive(Debug)]
+pub(crate) struct AdmissionGate {
+    max_active: usize,
+    max_queue_depth: usize,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+/// An admission permit; dropping it frees the slot and wakes one waiter.
+#[derive(Debug)]
+pub(crate) struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().unwrap();
+        state.active -= 1;
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+impl AdmissionGate {
+    pub fn new(max_active: usize, max_queue_depth: usize) -> Self {
+        Self {
+            max_active: max_active.max(1),
+            max_queue_depth,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Acquire a permit, blocking while the gate is saturated.  Fails fast
+    /// with [`ServiceError::Overloaded`] once the wait queue is full.
+    pub fn admit(&self) -> Result<Permit<'_>, ServiceError> {
+        let mut state = self.state.lock().unwrap();
+        if state.active >= self.max_active {
+            if state.waiting >= self.max_queue_depth {
+                return Err(ServiceError::Overloaded {
+                    queue_depth: state.waiting,
+                    limit: self.max_queue_depth,
+                });
+            }
+            state.waiting += 1;
+            while state.active >= self.max_active {
+                state = self.freed.wait(state).unwrap();
+            }
+            state.waiting -= 1;
+        }
+        state.active += 1;
+        Ok(Permit { gate: self })
+    }
+
+    /// (active invocations, queued waiters).
+    pub fn depths(&self) -> (usize, usize) {
+        let state = self.state.lock().unwrap();
+        (state.active, state.waiting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_free_on_drop() {
+        let gate = AdmissionGate::new(1, 0);
+        let permit = gate.admit().expect("first permit");
+        assert_eq!(gate.depths(), (1, 0));
+        // Saturated with an empty wait queue: immediate backpressure.
+        assert!(matches!(
+            gate.admit(),
+            Err(ServiceError::Overloaded { limit: 0, .. })
+        ));
+        drop(permit);
+        assert_eq!(gate.depths(), (0, 0));
+        let _again = gate.admit().expect("slot freed");
+    }
+
+    #[test]
+    fn waiters_are_admitted_when_a_slot_frees() {
+        let gate = std::sync::Arc::new(AdmissionGate::new(1, 4));
+        let permit = gate.admit().unwrap();
+        let waiter = {
+            let gate = std::sync::Arc::clone(&gate);
+            std::thread::spawn(move || gate.admit().map(|_| ()).is_ok())
+        };
+        // Let the waiter reach the queue, then free the slot.
+        while gate.depths().1 == 0 {
+            std::thread::yield_now();
+        }
+        drop(permit);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn zero_max_active_is_clamped_to_one() {
+        let gate = AdmissionGate::new(0, 0);
+        let _permit = gate.admit().expect("clamped to one slot");
+    }
+}

@@ -1,0 +1,108 @@
+//! Sharded LRU cache of completed plans.
+//!
+//! Keys are the 64-bit [`crate::PlanRequest::key`] fingerprint; every hit is
+//! confirmed with a full-equality check of the stored request (the same
+//! discipline as `malleus_core::GroupingCache`), so fingerprint collisions
+//! degrade to recomputation, never to serving another tenant's plan.  Shards
+//! are independent mutexes selected by key, so concurrent tenants touching
+//! different plans do not contend on one lock.  Each shard evicts its
+//! least-recently-used entry once full; ties on the (shard-local) use clock
+//! break on the smaller key so eviction is deterministic.
+
+use crate::PlanRequest;
+use malleus_core::PlanOutcome;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct CacheEntry {
+    /// The request the plan was computed for (full-equality confirmation).
+    request: PlanRequest,
+    outcome: Arc<PlanOutcome>,
+    /// Shard-local logical timestamp of the last hit or insertion.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<u64, CacheEntry>,
+    clock: u64,
+}
+
+/// The sharded plan cache.
+#[derive(Debug)]
+pub(crate) struct ShardedPlanCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+impl ShardedPlanCache {
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            capacity_per_shard,
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Confirmed lookup: a fingerprint match whose stored request differs from
+    /// `request` is reported as a miss (the entry stays until the recomputed
+    /// plan replaces it).
+    pub fn get(&self, key: u64, request: &PlanRequest) -> Option<Arc<PlanOutcome>> {
+        let mut shard = self.shard(key).lock().unwrap();
+        shard.clock += 1;
+        let now = shard.clock;
+        let entry = shard.entries.get_mut(&key)?;
+        if !entry.request.matches(request) {
+            return None;
+        }
+        entry.last_used = now;
+        Some(Arc::clone(&entry.outcome))
+    }
+
+    /// Insert a freshly computed plan, returning the number of entries evicted
+    /// (0 or 1).  Re-inserting an existing key (including a fingerprint
+    /// collision being replaced) never evicts a third entry.
+    pub fn insert(&self, key: u64, request: PlanRequest, outcome: Arc<PlanOutcome>) -> u64 {
+        if self.capacity_per_shard == 0 {
+            return 0;
+        }
+        let mut shard = self.shard(key).lock().unwrap();
+        shard.clock += 1;
+        let now = shard.clock;
+        let mut evicted = 0;
+        if !shard.entries.contains_key(&key) && shard.entries.len() >= self.capacity_per_shard {
+            if let Some(victim) = shard
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.last_used, **k))
+                .map(|(k, _)| *k)
+            {
+                shard.entries.remove(&victim);
+                evicted = 1;
+            }
+        }
+        shard.entries.insert(
+            key,
+            CacheEntry {
+                request,
+                outcome,
+                last_used: now,
+            },
+        );
+        evicted
+    }
+
+    /// Total number of cached plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .sum()
+    }
+}

@@ -1,0 +1,96 @@
+//! Request coalescing (singleflight).
+//!
+//! Concurrent identical requests must not re-plan: the first arrival for a
+//! key becomes the *leader* and runs the planner; later arrivals become
+//! *followers* and block on a condvar-backed slot until the leader publishes
+//! the shared result.  A fingerprint collision — a different request hashing
+//! to an in-flight key — is detected by full-equality comparison against the
+//! leader's request and falls back to an independent computation, so
+//! coalescing can never hand a tenant another tenant's plan.
+
+use crate::{PlanRequest, ServiceError};
+use malleus_core::PlanOutcome;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a computation produced, shared verbatim with every coalesced waiter.
+pub(crate) type PlanResult = Result<Arc<PlanOutcome>, ServiceError>;
+
+/// One in-flight computation.
+#[derive(Debug)]
+pub(crate) struct InFlight {
+    /// The leader's request (followers confirm full equality before waiting).
+    request: PlanRequest,
+    result: Mutex<Option<PlanResult>>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn new(request: PlanRequest) -> Self {
+        Self {
+            request,
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Block until the leader publishes, then return a clone of its result.
+    pub fn wait(&self) -> PlanResult {
+        let mut slot = self.result.lock().unwrap();
+        while slot.is_none() {
+            slot = self.ready.wait(slot).unwrap();
+        }
+        slot.as_ref().unwrap().clone()
+    }
+
+    fn publish(&self, result: PlanResult) {
+        *self.result.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// How a request relates to the in-flight table.
+pub(crate) enum Role {
+    /// First arrival: owns the computation and must call
+    /// [`InFlightTable::complete`] exactly once.
+    Leader(Arc<InFlight>),
+    /// Identical request already in flight: wait on its slot.
+    Follower(Arc<InFlight>),
+    /// A *different* request is in flight under the same fingerprint;
+    /// compute independently without touching the slot.
+    Collision,
+}
+
+/// The singleflight table: at most one slot per key.
+#[derive(Debug, Default)]
+pub(crate) struct InFlightTable {
+    slots: Mutex<HashMap<u64, Arc<InFlight>>>,
+}
+
+impl InFlightTable {
+    /// Join the in-flight computation for `key`, or become its leader.
+    pub fn join(&self, key: u64, request: &PlanRequest) -> Role {
+        let mut slots = self.slots.lock().unwrap();
+        match slots.get(&key) {
+            Some(slot) if slot.request.matches(request) => Role::Follower(Arc::clone(slot)),
+            Some(_) => Role::Collision,
+            None => {
+                let slot = Arc::new(InFlight::new(request.clone()));
+                slots.insert(key, Arc::clone(&slot));
+                Role::Leader(slot)
+            }
+        }
+    }
+
+    /// Leader-side completion: publish the result to every follower (waking
+    /// them) and retire the slot so later requests go to the cache.
+    pub fn complete(&self, key: u64, slot: &Arc<InFlight>, result: PlanResult) {
+        slot.publish(result);
+        self.slots.lock().unwrap().remove(&key);
+    }
+
+    /// Number of in-flight computations (diagnostics).
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+}

@@ -1,0 +1,578 @@
+//! `malleus-service` — a concurrent, multi-tenant planning service.
+//!
+//! The paper invokes the planner once per straggler/failure event of a single
+//! training job.  At production scale many elastic training sessions ask for
+//! plans against *overlapping* cluster snapshots at once — N tenants replanning
+//! after the same cluster event should pay for one planner invocation, not N.
+//! [`PlanService`] is an in-process, thread-based front end over
+//! `malleus_core::Planner` that amortizes identical work across tenants:
+//!
+//! * **Sharded LRU plan cache** ([`cache`]) keyed by
+//!   ([`ClusterSnapshot::fingerprint`], coefficients fingerprint, config
+//!   fingerprint) with full-equality confirmation on every hit — the same
+//!   collision discipline as `malleus_core::GroupingCache`.
+//! * **Request coalescing** ([`coalesce`]): concurrent identical requests
+//!   block on one in-flight computation (singleflight) instead of re-planning.
+//! * **Bounded admission** ([`admission`]): at most `max_concurrent_plans`
+//!   planner invocations run at once, each fanning its candidate lattice over
+//!   `worker_budget / max_concurrent_plans` threads via
+//!   `malleus_core::parallel` — total planner threads stay capped however many
+//!   tenants call in, and a bounded wait queue sheds load
+//!   ([`ServiceError::Overloaded`]) past the backpressure knob.
+//! * **[`ServiceMetrics`]**: hit/coalesce/eviction counters, queue depth, and
+//!   p50/p99 service times.
+//!
+//! Because the planner's candidate-lattice reduction is deterministic in the
+//! worker count (see `malleus_core::parallel`), the service's parallelism
+//! override changes only wall-clock, never the plan: cached, coalesced and
+//! freshly computed results are all byte-identical to a direct
+//! `Planner::plan` call — `tests/parallel_equivalence.rs` in the facade crate
+//! proves it against the serial oracle.
+
+mod admission;
+mod cache;
+mod coalesce;
+mod metrics;
+
+pub use metrics::ServiceMetrics;
+
+use admission::AdmissionGate;
+use cache::ShardedPlanCache;
+use coalesce::{InFlightTable, Role};
+use malleus_cluster::ClusterSnapshot;
+use malleus_core::{GroupingCache, Parallelism, PlanError, PlanOutcome, Planner, PlannerConfig};
+use malleus_model::ProfiledCoefficients;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One tenant's planning request: the profiled coefficients (model spec +
+/// hardware), the observed cluster snapshot, and the planner configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanRequest {
+    /// Profiled coefficients (identify the model spec and hardware platform).
+    pub coeffs: ProfiledCoefficients,
+    /// The cluster snapshot to plan against.
+    pub snapshot: ClusterSnapshot,
+    /// Planner configuration.  The `parallelism` knob is *execution policy*,
+    /// not plan identity — the planner's output is bit-identical across worker
+    /// counts — so it is excluded from both the cache key and request
+    /// equality, and the service substitutes its own per-plan thread budget.
+    pub config: PlannerConfig,
+}
+
+impl PlanRequest {
+    /// Build a request.
+    pub fn new(
+        coeffs: ProfiledCoefficients,
+        snapshot: ClusterSnapshot,
+        config: PlannerConfig,
+    ) -> Self {
+        Self {
+            coeffs,
+            snapshot,
+            config,
+        }
+    }
+
+    /// The 64-bit cache/coalescing key: FNV-1a over the snapshot fingerprint,
+    /// the coefficients fingerprint and the (parallelism-less) config
+    /// fingerprint.  Collisions are possible; every consumer confirms with
+    /// [`PlanRequest::matches`].
+    pub fn key(&self) -> u64 {
+        let mut f = Fnv::new();
+        f.u64(self.snapshot.fingerprint());
+        f.u64(coeffs_fingerprint(&self.coeffs));
+        f.u64(config_fingerprint(&self.config));
+        f.finish()
+    }
+
+    /// Full-equality confirmation for fingerprint hits: same coefficients,
+    /// same snapshot, same configuration modulo the parallelism knob.
+    pub fn matches(&self, other: &PlanRequest) -> bool {
+        self.coeffs == other.coeffs
+            && self.snapshot == other.snapshot
+            && config_equivalent(&self.config, &other.config)
+    }
+}
+
+/// Configuration equality ignoring the worker-count knob (which cannot change
+/// the produced plan).
+fn config_equivalent(a: &PlannerConfig, b: &PlannerConfig) -> bool {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    a.parallelism = Parallelism::Fixed(1);
+    b.parallelism = Parallelism::Fixed(1);
+    a == b
+}
+
+/// Incremental FNV-1a hasher (same construction as
+/// `ClusterSnapshot::fingerprint`, kept dependency-free).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ byte as u64).wrapping_mul(PRIME);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.u64(bytes.len() as u64);
+        for &b in bytes {
+            self.u64(b as u64);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Structural fingerprint of a coefficient bundle (spec + hardware; the
+/// memory model is derived from the spec, and equality confirmation covers
+/// hand-constructed bundles anyway).
+fn coeffs_fingerprint(c: &ProfiledCoefficients) -> u64 {
+    let mut f = Fnv::new();
+    f.bytes(c.spec.name.as_bytes());
+    f.u64(c.spec.num_layers as u64);
+    f.u64(c.spec.hidden_size);
+    f.u64(c.spec.ffn_hidden_size);
+    f.u64(c.spec.num_heads);
+    f.u64(c.spec.num_kv_heads);
+    f.u64(c.spec.vocab_size);
+    f.u64(c.spec.seq_len);
+    f.f64(c.hardware.gpu_peak_flops);
+    f.f64(c.hardware.achievable_flops_fraction);
+    f.f64(c.hardware.gpu_memory_bytes);
+    f.f64(c.hardware.memory_reserve_bytes);
+    f.f64(c.hardware.intra_node_bandwidth);
+    f.f64(c.hardware.inter_node_bandwidth);
+    f.f64(c.hardware.collective_latency);
+    f.f64(c.hardware.checkpoint_bandwidth);
+    f.f64(c.hardware.restart_init_seconds);
+    f.finish()
+}
+
+/// Structural fingerprint of a planner configuration, excluding the
+/// parallelism knob (see [`PlanRequest::config`]).
+fn config_fingerprint(c: &PlannerConfig) -> u64 {
+    let mut f = Fnv::new();
+    f.u64(c.global_batch_size);
+    f.u64(c.candidate_tp_degrees.len() as u64);
+    for &tp in &c.candidate_tp_degrees {
+        f.u64(tp as u64);
+    }
+    f.u64(c.candidate_micro_batch_sizes.len() as u64);
+    for &b in &c.candidate_micro_batch_sizes {
+        f.u64(b);
+    }
+    match &c.candidate_dp {
+        None => f.u64(0),
+        Some(dps) => {
+            f.u64(1 + dps.len() as u64);
+            for &dp in dps {
+                f.u64(dp as u64);
+            }
+        }
+    }
+    match c.fixed_dp {
+        None => f.u64(0),
+        Some(dp) => {
+            f.u64(1);
+            f.u64(dp as u64);
+        }
+    }
+    f.f64(c.straggler_threshold);
+    f.u64(
+        (c.enable_group_splitting as u64)
+            | (c.nonuniform_layers as u64) << 1
+            | (c.nonuniform_data as u64) << 2
+            | (c.nonuniform_stages as u64) << 3,
+    );
+    f.finish()
+}
+
+/// Sizing and backpressure knobs of a [`PlanService`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Number of independent cache shards (lock granularity).
+    pub shards: usize,
+    /// LRU capacity of each shard; total cached plans ≤ `shards × capacity`.
+    pub capacity_per_shard: usize,
+    /// Maximum planner invocations executing at once.
+    pub max_concurrent_plans: usize,
+    /// Admission/backpressure knob: requests allowed to *wait* for an
+    /// execution slot before the service sheds load with
+    /// [`ServiceError::Overloaded`].
+    pub max_queue_depth: usize,
+    /// Total planner-thread budget, split evenly across concurrent
+    /// invocations (each runs its candidate fan-out on
+    /// `worker_budget / max_concurrent_plans` workers, minimum 1).
+    pub worker_budget: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            shards: 8,
+            capacity_per_shard: 32,
+            max_concurrent_plans: cores.min(4).max(1),
+            max_queue_depth: 1024,
+            worker_budget: cores,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The worker count each admitted planner invocation runs with.
+    pub fn per_plan_parallelism(&self) -> Parallelism {
+        Parallelism::Fixed((self.worker_budget / self.max_concurrent_plans.max(1)).max(1))
+    }
+}
+
+/// Errors returned by [`PlanService::plan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceError {
+    /// The planner itself failed (no feasible plan, no usable GPUs, ...).
+    Plan(PlanError),
+    /// The admission wait queue is full; the caller should back off and retry.
+    Overloaded {
+        /// Requests already queued when this one was rejected.
+        queue_depth: usize,
+        /// The configured `max_queue_depth`.
+        limit: usize,
+    },
+    /// The service itself failed (a planning thread panicked before
+    /// publishing).  Deliberately distinct from [`ServiceError::Plan`]:
+    /// infeasibility is a normal, recoverable planner answer (e.g. the
+    /// replanner's pinned-DP probe), while this is a bug surfacing — callers
+    /// must not mask it behind infeasibility fallbacks.
+    Internal {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Plan(e) => write!(f, "planning failed: {e}"),
+            ServiceError::Overloaded { queue_depth, limit } => write!(
+                f,
+                "planning service overloaded: {queue_depth} requests queued (limit {limit})"
+            ),
+            ServiceError::Internal { reason } => {
+                write!(f, "planning service internal failure: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<PlanError> for ServiceError {
+    fn from(e: PlanError) -> Self {
+        ServiceError::Plan(e)
+    }
+}
+
+/// Leader-side unwind guard: if the leader panics before publishing, the
+/// drop handler publishes an [`ServiceError::Internal`] result and retires
+/// the slot so followers wake with an error instead of blocking forever (and
+/// the key is not wedged for future requests).  [`CompleteSlotOnDrop::disarm`]
+/// is the normal-path completion.
+struct CompleteSlotOnDrop<'a> {
+    inflight: &'a InFlightTable,
+    key: u64,
+    slot: &'a Arc<coalesce::InFlight>,
+}
+
+impl CompleteSlotOnDrop<'_> {
+    fn disarm(self, result: Result<Arc<PlanOutcome>, ServiceError>) {
+        self.inflight.complete(self.key, self.slot, result);
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for CompleteSlotOnDrop<'_> {
+    fn drop(&mut self) {
+        self.inflight.complete(
+            self.key,
+            self.slot,
+            Err(ServiceError::Internal {
+                reason: "planning thread panicked before publishing a result".into(),
+            }),
+        );
+    }
+}
+
+/// The multi-tenant planning service.  Cheap to share: callers typically hold
+/// it in an `Arc` and call [`PlanService::plan`] from many threads.
+#[derive(Debug)]
+pub struct PlanService {
+    config: ServiceConfig,
+    cache: ShardedPlanCache,
+    inflight: InFlightTable,
+    admission: AdmissionGate,
+    /// Grouping memo shared across every tenant's planner instance (confirmed
+    /// per-hit against snapshot and coefficients, so cross-model sharing is
+    /// safe).
+    grouping: GroupingCache,
+    metrics: metrics::MetricsRecorder,
+}
+
+impl PlanService {
+    /// Create a service.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self {
+            cache: ShardedPlanCache::new(config.shards, config.capacity_per_shard),
+            inflight: InFlightTable::default(),
+            admission: AdmissionGate::new(config.max_concurrent_plans, config.max_queue_depth),
+            grouping: GroupingCache::default(),
+            metrics: metrics::MetricsRecorder::default(),
+            config,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Serve one planning request.
+    ///
+    /// Fast path: a confirmed cache hit returns the shared [`PlanOutcome`]
+    /// without touching the planner.  Otherwise the request either coalesces
+    /// onto an identical in-flight computation or becomes the leader: it
+    /// acquires an admission permit (blocking in the bounded queue, shedding
+    /// load past it), invokes the planner with the service's per-plan thread
+    /// budget, stores the result in the cache and wakes every follower.
+    ///
+    /// The returned plan is byte-identical to what a direct
+    /// `Planner::plan(&request.snapshot)` call with `request.config` would
+    /// produce — caching and coalescing change who pays for the work, never
+    /// the answer.  Planner *errors* are shared with coalesced followers but
+    /// never cached, so a transient infeasibility is retried on the next
+    /// request.
+    pub fn plan(&self, request: &PlanRequest) -> Result<Arc<PlanOutcome>, ServiceError> {
+        let start = Instant::now();
+        metrics::MetricsRecorder::bump(&self.metrics.requests);
+        let key = request.key();
+
+        if let Some(outcome) = self.cache.get(key, request) {
+            metrics::MetricsRecorder::bump(&self.metrics.hits);
+            self.metrics
+                .record_service_time(start.elapsed().as_secs_f64());
+            return Ok(outcome);
+        }
+
+        let result = match self.inflight.join(key, request) {
+            Role::Follower(slot) => {
+                metrics::MetricsRecorder::bump(&self.metrics.coalesced);
+                slot.wait()
+            }
+            Role::Collision => {
+                // A different request is in flight under our fingerprint;
+                // compute independently (and let our result take the cache
+                // slot) rather than waiting on — or corrupting — its slot.
+                metrics::MetricsRecorder::bump(&self.metrics.misses);
+                self.compute_and_store(key, request)
+            }
+            Role::Leader(slot) => {
+                // Whatever happens below — including a panic unwinding out of
+                // the planner — the slot must be published and retired, or
+                // followers would block forever and the key would be wedged
+                // for every future request.
+                let guard = CompleteSlotOnDrop {
+                    inflight: &self.inflight,
+                    key,
+                    slot: &slot,
+                };
+                // Between our unlocked cache miss and becoming leader, a
+                // previous leader for this key may have completed (cache
+                // insert happens before its slot is retired, and both sides
+                // synchronize on the slot-table lock): re-check so the
+                // singleflight invariant — one planner invocation per
+                // distinct key — holds even across that race.
+                let result = match self.cache.get(key, request) {
+                    Some(outcome) => {
+                        metrics::MetricsRecorder::bump(&self.metrics.hits);
+                        Ok(outcome)
+                    }
+                    None => {
+                        metrics::MetricsRecorder::bump(&self.metrics.misses);
+                        self.compute_and_store(key, request)
+                    }
+                };
+                guard.disarm(result.clone());
+                result
+            }
+        };
+        self.metrics
+            .record_service_time(start.elapsed().as_secs_f64());
+        result
+    }
+
+    fn compute_and_store(
+        &self,
+        key: u64,
+        request: &PlanRequest,
+    ) -> Result<Arc<PlanOutcome>, ServiceError> {
+        let permit = self.admission.admit();
+        let _permit = match permit {
+            Ok(p) => p,
+            Err(e) => {
+                metrics::MetricsRecorder::bump(&self.metrics.rejected);
+                return Err(e);
+            }
+        };
+        metrics::MetricsRecorder::bump(&self.metrics.planner_invocations);
+        let mut exec_config = request.config.clone();
+        exec_config.parallelism = self.config.per_plan_parallelism();
+        let planner = Planner::new(request.coeffs.clone(), exec_config)
+            .with_grouping_cache(self.grouping.clone());
+        match planner.plan(&request.snapshot) {
+            Ok(outcome) => {
+                let outcome = Arc::new(outcome);
+                let evicted = self
+                    .cache
+                    .insert(key, request.clone(), Arc::clone(&outcome));
+                for _ in 0..evicted {
+                    metrics::MetricsRecorder::bump(&self.metrics.evictions);
+                }
+                Ok(outcome)
+            }
+            Err(e) => Err(ServiceError::Plan(e)),
+        }
+    }
+
+    /// Snapshot of the service counters and latency percentiles.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let (active, waiting) = self.admission.depths();
+        self.metrics.snapshot(waiting, active)
+    }
+
+    /// Number of plans currently cached (diagnostics / tests).
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of computations currently in flight (diagnostics / tests).
+    pub fn inflight_plans(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleus_cluster::{Cluster, GpuId};
+    use malleus_model::{HardwareParams, ModelSpec};
+
+    fn small_request(rate_on_gpu3: f64) -> PlanRequest {
+        let coeffs =
+            ProfiledCoefficients::derive(ModelSpec::llama2_7b(), HardwareParams::a800_cluster());
+        let mut cluster = Cluster::homogeneous(1, 8);
+        if rate_on_gpu3 > 1.0 {
+            cluster.set_rate(GpuId(3), rate_on_gpu3);
+        }
+        PlanRequest::new(
+            coeffs,
+            cluster.snapshot(),
+            PlannerConfig {
+                global_batch_size: 8,
+                ..PlannerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn request_key_is_stable_and_parallelism_free() {
+        let a = small_request(1.0);
+        let mut b = a.clone();
+        assert_eq!(a.key(), b.key());
+        assert!(a.matches(&b));
+        // The worker knob is execution policy, not identity.
+        b.config.parallelism = Parallelism::Fixed(7);
+        assert_eq!(a.key(), b.key());
+        assert!(a.matches(&b));
+        // Any plan-relevant field changes the key.
+        b.config.global_batch_size = 16;
+        assert_ne!(a.key(), b.key());
+        assert!(!a.matches(&b));
+        let c = small_request(2.57);
+        assert_ne!(a.key(), c.key());
+        assert!(!a.matches(&c));
+    }
+
+    #[test]
+    fn distinct_coefficients_change_the_key() {
+        let a = small_request(1.0);
+        let mut b = a.clone();
+        b.coeffs =
+            ProfiledCoefficients::derive(ModelSpec::llama2_13b(), HardwareParams::a800_cluster());
+        assert_ne!(a.key(), b.key());
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn cache_hit_returns_the_same_arc() {
+        let service = PlanService::new(ServiceConfig::default());
+        let request = small_request(1.0);
+        let first = service.plan(&request).expect("miss");
+        let second = service.plan(&request).expect("hit");
+        assert!(Arc::ptr_eq(&first, &second));
+        let m = service.metrics();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.planner_invocations, 1);
+        assert!(m.hit_rate() > 0.0);
+        assert_eq!(service.cached_plans(), 1);
+        assert_eq!(service.inflight_plans(), 0);
+    }
+
+    #[test]
+    fn planner_errors_are_returned_and_not_cached() {
+        let service = PlanService::new(ServiceConfig::default());
+        let mut request = small_request(1.0);
+        // No candidate micro-batch divides the global batch: planning fails.
+        request.config.candidate_micro_batch_sizes = vec![3];
+        let err = service.plan(&request).expect_err("infeasible");
+        assert!(matches!(err, ServiceError::Plan(_)));
+        assert_eq!(service.cached_plans(), 0);
+        // The error is recomputed (not served from a poisoned cache entry).
+        let err2 = service.plan(&request).expect_err("still infeasible");
+        assert_eq!(err, err2);
+        assert_eq!(service.metrics().planner_invocations, 2);
+    }
+
+    #[test]
+    fn per_plan_parallelism_splits_the_worker_budget() {
+        let config = ServiceConfig {
+            worker_budget: 8,
+            max_concurrent_plans: 4,
+            ..ServiceConfig::default()
+        };
+        assert_eq!(config.per_plan_parallelism(), Parallelism::Fixed(2));
+        let starved = ServiceConfig {
+            worker_budget: 1,
+            max_concurrent_plans: 16,
+            ..ServiceConfig::default()
+        };
+        assert_eq!(starved.per_plan_parallelism(), Parallelism::Fixed(1));
+    }
+}

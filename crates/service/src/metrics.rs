@@ -1,0 +1,201 @@
+//! Service-level counters and latency percentiles.
+//!
+//! Counters are lock-free atomics bumped on the request path; service-time
+//! samples land in a fixed-size ring (bounded memory under sustained load).
+//! [`ServiceMetrics`] is a consistent-enough point-in-time snapshot for
+//! dashboards and the throughput experiment — the counters are read
+//! individually, so a snapshot taken while requests are in flight may be off
+//! by the requests that completed mid-read.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of service-time samples retained for the percentile estimates.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Independent latency stripes: one global sample mutex would re-serialize
+/// the cache-hit fast path the sharded cache keeps contention-free, and
+/// inflate the very hit latencies it measures.  Recording picks a stripe
+/// round-robin; the snapshot merges all stripes.
+const LATENCY_STRIPES: usize = 8;
+
+/// Internal recorder owned by the service.
+#[derive(Debug)]
+pub(crate) struct MetricsRecorder {
+    pub requests: AtomicU64,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub planner_invocations: AtomicU64,
+    pub evictions: AtomicU64,
+    pub rejected: AtomicU64,
+    next_stripe: AtomicU64,
+    latencies: Vec<Mutex<LatencyRing>>,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            planner_invocations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            next_stripe: AtomicU64::new(0),
+            latencies: (0..LATENCY_STRIPES)
+                .map(|_| Mutex::new(LatencyRing::default()))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn record(&mut self, seconds: f64) {
+        if self.samples.len() < LATENCY_WINDOW / LATENCY_STRIPES {
+            self.samples.push(seconds);
+        } else {
+            let slot = self.next;
+            self.samples[slot] = seconds;
+        }
+        self.next = (self.next + 1) % (LATENCY_WINDOW / LATENCY_STRIPES);
+    }
+}
+
+impl MetricsRecorder {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the end-to-end service time of one request (seconds).
+    pub fn record_service_time(&self, seconds: f64) {
+        let stripe = self.next_stripe.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_STRIPES;
+        self.latencies[stripe].lock().unwrap().record(seconds);
+    }
+
+    pub fn snapshot(&self, queue_depth: usize, active_plans: usize) -> ServiceMetrics {
+        let mut samples: Vec<f64> = self
+            .latencies
+            .iter()
+            .flat_map(|stripe| stripe.lock().unwrap().samples.clone())
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        ServiceMetrics {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            planner_invocations: self.planner_invocations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth,
+            active_plans,
+            p50_service_time: percentile(&samples, 0.50),
+            p99_service_time: percentile(&samples, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending sample set (0.0 when empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Point-in-time snapshot of the service's health and cache effectiveness.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceMetrics {
+    /// Total requests accepted by [`crate::PlanService::plan`].
+    pub requests: u64,
+    /// Requests answered from the plan cache.
+    pub hits: u64,
+    /// Requests that had to invoke (or wait to invoke) the planner.
+    pub misses: u64,
+    /// Requests that blocked on another tenant's identical in-flight
+    /// computation instead of re-planning.
+    pub coalesced: u64,
+    /// Actual `Planner::plan` invocations (≤ misses; fingerprint-collision
+    /// recomputations are counted here too).
+    pub planner_invocations: u64,
+    /// Cache entries displaced by LRU eviction.
+    pub evictions: u64,
+    /// Requests rejected by the admission gate (backpressure).
+    pub rejected: u64,
+    /// Requests currently waiting for an admission permit.
+    pub queue_depth: usize,
+    /// Planner invocations currently executing.
+    pub active_plans: usize,
+    /// Median end-to-end service time over the recent sample window (s).
+    pub p50_service_time: f64,
+    /// 99th-percentile end-to-end service time over the window (s).
+    pub p99_service_time: f64,
+}
+
+impl ServiceMetrics {
+    /// Fraction of requests answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of requests that avoided a planner invocation entirely
+    /// (cache hits plus coalesced waits).
+    pub fn shared_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let recorder = MetricsRecorder::default();
+        for i in 1..=100 {
+            recorder.record_service_time(i as f64);
+        }
+        let snap = recorder.snapshot(0, 0);
+        assert!((snap.p50_service_time - 50.0).abs() <= 1.0);
+        assert!(snap.p99_service_time >= 99.0);
+    }
+
+    #[test]
+    fn latency_rings_are_bounded() {
+        let recorder = MetricsRecorder::default();
+        for i in 0..(LATENCY_WINDOW * 2) {
+            recorder.record_service_time(i as f64);
+        }
+        let total: usize = recorder
+            .latencies
+            .iter()
+            .map(|stripe| stripe.lock().unwrap().samples.len())
+            .sum();
+        assert_eq!(total, LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn rates_handle_zero_requests() {
+        let m = ServiceMetrics::default();
+        assert_eq!(m.hit_rate(), 0.0);
+        assert_eq!(m.shared_rate(), 0.0);
+    }
+}

@@ -36,6 +36,7 @@
 //! | [`core`] | the Malleus planner (grouping, orchestration, assignment, migration) |
 //! | [`sim`] | 1F1B / ZeRO training-step simulator, migration & restart costs |
 //! | [`runtime`] | profiler, executor, asynchronous re-planning, training sessions |
+//! | [`service`] | multi-tenant planning service: sharded plan cache, request coalescing |
 //! | [`baselines`] | Megatron-LM, DeepSpeed, restart variants, Oobleck, theoretic optimum |
 
 pub use malleus_baselines as baselines;
@@ -43,6 +44,7 @@ pub use malleus_cluster as cluster;
 pub use malleus_core as core;
 pub use malleus_model as model;
 pub use malleus_runtime as runtime;
+pub use malleus_service as service;
 pub use malleus_sim as sim;
 pub use malleus_solver as solver;
 
@@ -60,7 +62,12 @@ pub mod prelude {
         PlannerConfig,
     };
     pub use malleus_model::{HardwareParams, ModelSpec, ProfiledCoefficients};
-    pub use malleus_runtime::{Executor, Profiler, SessionReport, TrainingSession};
+    pub use malleus_runtime::{
+        replan_overlapped_shared, Executor, Profiler, SessionReport, TrainingSession,
+    };
+    pub use malleus_service::{
+        PlanRequest, PlanService, ServiceConfig, ServiceError, ServiceMetrics,
+    };
     pub use malleus_sim::{
         migration_time, restart_time, simulate_step, simulate_zero3_step, StepReport,
         TrainingSimulator, Zero3Config,

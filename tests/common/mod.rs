@@ -1,14 +1,19 @@
 //! Shared fixtures for the facade integration suites.
 //!
-//! `ProfiledCoefficients::derive` results (and a few frequently re-planned
-//! outcomes) are memoized in `OnceLock` statics so each test binary derives
-//! them once instead of once per test — the integration suites are the
-//! test-time hotspot flagged in ROADMAP.md.
+//! `ProfiledCoefficients::derive` results are memoized in `OnceLock` statics
+//! so each test binary derives them once instead of once per test, and the
+//! frequently repeated 70B/110B planning calls — the test-time hotspot
+//! flagged in ROADMAP.md — are routed through a binary-scoped [`PlanService`]
+//! ([`planned`]): every (snapshot, coefficients, config) planning problem is
+//! solved once per binary and shared, with concurrent tests coalescing onto
+//! one in-flight computation.  Service-returned plans are byte-identical to
+//! direct `Planner::plan` calls (proven by `tests/parallel_equivalence.rs`),
+//! so fixtures never change what a test observes.
 
 #![allow(dead_code)]
 
 use malleus::prelude::*;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 fn derive(spec: ModelSpec) -> ProfiledCoefficients {
     ProfiledCoefficients::derive(spec, HardwareParams::a800_cluster())
@@ -69,13 +74,77 @@ pub fn snapshot_for(nodes: u32, situation: PaperSituation) -> ClusterSnapshot {
     cluster.snapshot()
 }
 
-/// The healthy-cluster 32B plan (4×8 GPUs, batch 64), planned once per binary.
-pub fn healthy_plan_32b() -> &'static PlanOutcome {
-    static CACHE: OnceLock<PlanOutcome> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        let snapshot = snapshot_for(4, PaperSituation::Normal);
-        planner_for(&ModelSpec::llama2_32b(), 64)
-            .plan(&snapshot)
-            .expect("healthy 32B plan")
+/// Binary-scoped planning service: plan-level memoization shared by every
+/// test in the binary (plus coalescing when tests run concurrently).
+pub fn plan_service() -> &'static Arc<PlanService> {
+    static CACHE: OnceLock<Arc<PlanService>> = OnceLock::new();
+    CACHE.get_or_init(|| Arc::new(PlanService::new(ServiceConfig::default())))
+}
+
+/// Plan one of the paper's workloads under a situation, memoized per binary
+/// through the shared [`plan_service`].  Byte-identical to a direct
+/// `Planner::plan` call with the [`planner_for`] configuration.
+pub fn planned(
+    spec: &ModelSpec,
+    batch: u64,
+    nodes: u32,
+    situation: PaperSituation,
+) -> Arc<PlanOutcome> {
+    let request = PlanRequest::new(
+        coeffs_for(spec).clone(),
+        snapshot_for(nodes, situation),
+        PlannerConfig {
+            global_batch_size: batch,
+            ..PlannerConfig::default()
+        },
+    );
+    plan_service().plan(&request).unwrap_or_else(|e| {
+        panic!(
+            "shared plan fixture for {} under {situation:?}: {e}",
+            spec.name
+        )
     })
+}
+
+/// Binary-scoped *serial-execution* planning service: `worker_budget = 1`
+/// pins every invocation to one worker, so its outputs are exactly the
+/// `Parallelism::Fixed(1)` oracle plans the deterministic-equivalence
+/// harness compares against — computed once per binary and shared.
+pub fn oracle_service() -> &'static Arc<PlanService> {
+    static CACHE: OnceLock<Arc<PlanService>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Arc::new(PlanService::new(ServiceConfig {
+            worker_budget: 1,
+            ..ServiceConfig::default()
+        }))
+    })
+}
+
+/// The serial-oracle plan for one of the paper's workloads under a situation,
+/// memoized per binary through [`oracle_service`].
+pub fn oracle_planned(
+    spec: &ModelSpec,
+    batch: u64,
+    nodes: u32,
+    situation: PaperSituation,
+) -> Arc<PlanOutcome> {
+    let request = PlanRequest::new(
+        coeffs_for(spec).clone(),
+        snapshot_for(nodes, situation),
+        PlannerConfig {
+            global_batch_size: batch,
+            ..PlannerConfig::default()
+        },
+    );
+    oracle_service().plan(&request).unwrap_or_else(|e| {
+        panic!(
+            "oracle plan fixture for {} under {situation:?}: {e}",
+            spec.name
+        )
+    })
+}
+
+/// The healthy-cluster 32B plan (4×8 GPUs, batch 64), planned once per binary.
+pub fn healthy_plan_32b() -> Arc<PlanOutcome> {
+    planned(&ModelSpec::llama2_32b(), 64, 4, PaperSituation::Normal)
 }

@@ -29,13 +29,13 @@ fn candidate_parallelism() -> Parallelism {
 }
 
 fn assert_golden_equivalence(spec: ModelSpec, nodes: u32) {
-    let serial = common::planner_for(&spec, 64).with_parallelism(Parallelism::Fixed(1));
+    // The serial side comes from the shared oracle fixture (a binary-scoped
+    // service whose worker budget pins execution to `Fixed(1)`), so each
+    // oracle plan is computed once per binary however many tests consult it.
     let parallel = common::planner_for(&spec, 64).with_parallelism(candidate_parallelism());
     for situation in SITUATIONS {
         let snapshot = common::snapshot_for(nodes, situation);
-        let oracle = serial
-            .plan(&snapshot)
-            .unwrap_or_else(|e| panic!("{} serial under {situation:?}: {e}", spec.name));
+        let oracle = common::oracle_planned(&spec, 64, nodes, situation);
         let candidate = parallel
             .plan(&snapshot)
             .unwrap_or_else(|e| panic!("{} parallel under {situation:?}: {e}", spec.name));
@@ -74,6 +74,52 @@ fn golden_plans_70b_match_serial_oracle_across_all_situations() {
 #[test]
 fn golden_plans_110b_match_serial_oracle_across_all_situations() {
     assert_golden_equivalence(ModelSpec::llama2_110b(), 8);
+}
+
+#[test]
+fn service_plans_are_byte_identical_to_direct_planner() {
+    // The multi-tenant planning service must be invisible in the output:
+    // uncached (miss) and cached (hit) results byte-identical to a direct
+    // `Planner::plan` call — the service only changes who pays for the
+    // computation.  The direct reference is the shared serial-oracle plan,
+    // which the golden tests above prove bit-equal to every other direct
+    // planner configuration.
+    let service = PlanService::new(ServiceConfig::default());
+    for (spec, nodes, situation) in [
+        (ModelSpec::llama2_32b(), 4, PaperSituation::S3),
+        (ModelSpec::llama2_70b(), 8, PaperSituation::S2),
+    ] {
+        let snapshot = common::snapshot_for(nodes, situation);
+        let direct = common::oracle_planned(&spec, 64, nodes, situation);
+        let request = PlanRequest::new(
+            common::coeffs_for(&spec).clone(),
+            snapshot,
+            common::planner_for(&spec, 64).config,
+        );
+        let miss = service.plan(&request).expect("service plan (miss)");
+        let hit = service.plan(&request).expect("service plan (hit)");
+        for outcome in [&miss, &hit] {
+            assert_eq!(
+                direct.plan, outcome.plan,
+                "{} under {situation:?}",
+                spec.name
+            );
+            assert_eq!(direct.chosen_tp, outcome.chosen_tp);
+            assert_eq!(direct.dp, outcome.dp);
+            assert_eq!(
+                direct.estimated_step_time.to_bits(),
+                outcome.estimated_step_time.to_bits()
+            );
+            assert_eq!(
+                direct.estimated_step_time_simplified.to_bits(),
+                outcome.estimated_step_time_simplified.to_bits()
+            );
+        }
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.planner_invocations, 2);
+    assert_eq!(metrics.hits, 2);
+    assert!(metrics.hit_rate() > 0.0);
 }
 
 #[test]

@@ -1,8 +1,13 @@
 //! Integration tests of the full planning pipeline on the paper's scenarios.
+//!
+//! Repeated (model, situation) planning problems are served by the shared
+//! per-binary plan fixture (`common::planned`, backed by the planning
+//! service), so e.g. the 110B-under-S4 plan needed by two tests here is
+//! computed once — the remaining calls are cache hits.
 
 mod common;
 
-use common::{planner_for as shared_planner_for, snapshot_for};
+use common::{planned, planner_for as shared_planner_for, snapshot_for};
 use malleus::prelude::*;
 
 fn planner_for(spec: ModelSpec, batch: u64) -> Planner {
@@ -28,10 +33,7 @@ fn all_paper_situations_admit_valid_plans_for_all_models() {
             PaperSituation::S5,
             PaperSituation::S6,
         ] {
-            let snapshot = snapshot_for(nodes, situation);
-            let outcome = planner
-                .plan(&snapshot)
-                .unwrap_or_else(|e| panic!("{} under {:?}: {e}", spec.name, situation));
+            let outcome = planned(&spec, 64, nodes, situation);
             outcome.plan.validate(layers, 64).unwrap();
             assert!(planner.cost.memory_feasible(&outcome.plan));
         }
@@ -43,9 +45,8 @@ fn case_study_110b_s4_removes_or_isolates_every_straggler() {
     // Table 4: under S4 the heavy stragglers end up isolated in small groups
     // (or parked as standby) and never share a group with healthy GPUs that
     // would be dragged down.
-    let planner = planner_for(ModelSpec::llama2_110b(), 64);
     let snapshot = snapshot_for(8, PaperSituation::S4);
-    let outcome = planner.plan(&snapshot).unwrap();
+    let outcome = planned(&ModelSpec::llama2_110b(), 64, 8, PaperSituation::S4);
     for straggler in snapshot.stragglers(1.05) {
         let holding_group = outcome.plan.pipelines.iter().find_map(|p| {
             p.stages
@@ -74,9 +75,8 @@ fn case_study_32b_s5_keeps_node_of_mild_stragglers_in_use() {
     // Table 4: under S5 the eight level-1 stragglers of node 0 are *retained*
     // (with fewer layers / less data), not discarded like a node-granular
     // approach would do.
-    let planner = planner_for(ModelSpec::llama2_32b(), 64);
     let snapshot = snapshot_for(4, PaperSituation::S5);
-    let outcome = planner.plan(&snapshot).unwrap();
+    let outcome = planned(&ModelSpec::llama2_32b(), 64, 4, PaperSituation::S5);
     let node0_active = outcome
         .plan
         .active_gpus()
@@ -93,7 +93,7 @@ fn case_study_32b_s5_keeps_node_of_mild_stragglers_in_use() {
 fn planner_beats_every_uniform_configuration_under_stragglers() {
     let planner = planner_for(ModelSpec::llama2_32b(), 64);
     let snapshot = snapshot_for(4, PaperSituation::S4);
-    let outcome = planner.plan(&snapshot).unwrap();
+    let outcome = planned(&ModelSpec::llama2_32b(), 64, 4, PaperSituation::S4);
     let gpus: Vec<GpuId> = (0..32).map(GpuId).collect();
     for (dp, tp, pp) in [(2usize, 4u32, 4usize), (4, 4, 2), (2, 8, 2), (1, 8, 4)] {
         let Ok(uniform) = ParallelizationPlan::uniform(&gpus, dp, pp, tp, 60, 64, 1) else {
@@ -119,8 +119,7 @@ fn replanning_under_each_situation_improves_over_stale_plan() {
     // fallback re-opens the DP enumeration.  Either way the adapted plan must
     // be valid and strictly better than keeping the stale plan.
     let planner = planner_for(ModelSpec::llama2_70b(), 64);
-    let healthy = snapshot_for(8, PaperSituation::Normal);
-    let initial = planner.plan(&healthy).unwrap();
+    let initial = planned(&ModelSpec::llama2_70b(), 64, 8, PaperSituation::Normal);
     for situation in [PaperSituation::S2, PaperSituation::S5] {
         let snapshot = snapshot_for(8, situation);
         let replanned = planner.replan(&snapshot, &initial.plan).unwrap();
@@ -140,14 +139,13 @@ fn replanning_under_each_situation_improves_over_stale_plan() {
 #[test]
 fn theoretic_optimum_lower_bounds_malleus_simulated_time() {
     let coeffs = common::coeffs_32b();
-    let planner = planner_for(ModelSpec::llama2_32b(), 64);
     let healthy = snapshot_for(4, PaperSituation::Normal);
     let healthy_time = simulate_step(coeffs, &common::healthy_plan_32b().plan, &healthy)
         .unwrap()
         .step_time;
     for situation in [PaperSituation::S1, PaperSituation::S4, PaperSituation::S6] {
         let snapshot = snapshot_for(4, situation);
-        let outcome = planner.plan(&snapshot).unwrap();
+        let outcome = planned(&ModelSpec::llama2_32b(), 64, 4, situation);
         let simulated = simulate_step(coeffs, &outcome.plan, &snapshot)
             .unwrap()
             .step_time;
