@@ -5,6 +5,7 @@
 //! checkpointing.  The execution model lives in `malleus-sim::zero3`.
 
 use malleus_cluster::{ClusterSnapshot, GpuId};
+use malleus_core::PlanError;
 use malleus_model::ProfiledCoefficients;
 use malleus_sim::{simulate_zero3_step, Zero3Config};
 use serde::{Deserialize, Serialize};
@@ -120,6 +121,26 @@ impl DeepSpeedPlanner {
         best
     }
 
+    /// Like [`Self::search`], but with typed errors for degenerate inputs.
+    pub fn search_checked(
+        &self,
+        snapshot: &ClusterSnapshot,
+        gpus: &[GpuId],
+    ) -> Result<(DeepSpeedConfig, f64), PlanError> {
+        if gpus.is_empty() {
+            return Err(PlanError::NoUsableGpus);
+        }
+        self.search(snapshot, gpus)
+            .ok_or_else(|| PlanError::InfeasibleConfiguration {
+                backend: "deepspeed".into(),
+                reason: format!(
+                    "no SP×mbs setting over {} GPUs is memory-feasible for batch {}",
+                    gpus.len(),
+                    self.global_batch_size
+                ),
+            })
+    }
+
     /// Simulate one step with a fixed configuration under the given straggler
     /// situation.  Returns `None` when the configuration cannot run (e.g. a
     /// participating GPU has failed).
@@ -204,6 +225,23 @@ mod tests {
             activation_checkpointing: true,
         };
         assert_eq!(c.to_string(), "DP32SP2+AC, mbs2");
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_typed_errors() {
+        let p = planner(ModelSpec::llama2_110b());
+        let snapshot = Cluster::homogeneous(1, 8).snapshot();
+        assert_eq!(
+            p.search_checked(&snapshot, &[]),
+            Err(PlanError::NoUsableGpus)
+        );
+        // One GPU cannot shard a 110B model's optimizer state alone.
+        match p.search_checked(&snapshot, &gpu_ids(1)) {
+            Err(PlanError::InfeasibleConfiguration { backend, .. }) => {
+                assert_eq!(backend, "deepspeed");
+            }
+            other => panic!("expected InfeasibleConfiguration, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,16 +19,55 @@
 //!
 //! All baselines run on the same simulator (`malleus-sim`) and the same
 //! profiled coefficients as Malleus so the comparisons isolate the
-//! *parallelization policy*, exactly as in the paper.
+//! *parallelization policy*, exactly as in the paper.  Every baseline also
+//! implements the [`malleus_core::PlanBackend`] trait ([`backend`]), so the
+//! planning service, the training runtime and `exp_backend_arena` can drive
+//! all five systems through one interface on identical event sequences.
+//!
+//! ## Fidelity notes (what each backend models, and what it does not)
+//!
+//! * **[`megatron`]** models the offline grid search an engineer performs
+//!   (DP × TP ∈ {1,2,4,8} × PP, micro-batch ∈ {1,2,4,8}, activation
+//!   checkpointing only when needed for memory) and the gating of a uniform
+//!   1F1B schedule by its slowest participant.  *Gaps:* no interleaved
+//!   virtual-pipeline schedules, no distributed-optimizer sharding, and the
+//!   search uses our simulator rather than measured throughput, so the chosen
+//!   configuration can differ from Table 6 when two settings are within
+//!   simulator noise.
+//! * **[`deepspeed`]** models ZeRO-3 with Ulysses sequence parallelism via
+//!   `malleus-sim`'s analytic ZeRO-3 step (per-layer all-gather and
+//!   reduce-scatter on the slowest participant's critical path).  *Gaps:* no
+//!   ZeRO-Offload/Infinity tiers, no communication/computation overlap tuning,
+//!   and no device-level [`malleus_core::ParallelizationPlan`] — the backend
+//!   reports `plan: None` and re-derives its configuration deterministically
+//!   from the active GPU set.
+//! * **[`oobleck`]** models template-constrained reinstantiation as a constant
+//!   `overhead_factor` (1.9×, the midpoint of Figure 8's 1.8–2.5×) on top of
+//!   the best Megatron-style plan for the surviving nodes, with a fixed
+//!   per-template migration time and template coverage up to `template_depth`
+//!   lost nodes.  *Gaps:* real Oobleck enumerates concrete pipeline templates
+//!   and its overhead varies per template; recovery of a re-admitted node is
+//!   always a restart here.
+//! * **[`restart`]** models checkpoint-restart remediation at node
+//!   granularity: healthy GPUs sharing a node with a straggler are discarded
+//!   too, and the restart cost comes from `malleus-sim`'s checkpoint
+//!   save/re-init/load model.  *Gaps:* restart cost ignores queueing/scheduler
+//!   delay, and re-tuning is assumed to find the simulator-optimal
+//!   configuration instantly.
+//! * **[`theoretic`]** is exact with respect to its own idealization (perfect
+//!   fractional work splitting, capability inversely proportional to the
+//!   straggling rate); it is a bound, not a system.
 
+pub mod backend;
 pub mod deepspeed;
 pub mod megatron;
 pub mod oobleck;
 pub mod restart;
 pub mod theoretic;
 
+pub use backend::baseline_constructors;
 pub use deepspeed::{DeepSpeedConfig, DeepSpeedPlanner};
 pub use megatron::{MegatronConfig, MegatronPlanner};
 pub use oobleck::{OobleckOutcome, OobleckPlanner, OobleckTransition};
-pub use restart::{nodes_without_stragglers, RestartOutcome, RestartPlanner};
-pub use theoretic::theoretic_optimal_time;
+pub use restart::{nodes_without_stragglers, RestartFamily, RestartOutcome, RestartPlanner};
+pub use theoretic::{gap_from_optimum, theoretic_optimal_time};

@@ -7,7 +7,7 @@
 //! gated by the slowest participant — this is the behaviour Table 2 measures.
 
 use malleus_cluster::{ClusterSnapshot, GpuId};
-use malleus_core::{CostModel, ParallelizationPlan};
+use malleus_core::{CostModel, ParallelizationPlan, PlanError};
 use malleus_model::ProfiledCoefficients;
 use malleus_sim::TrainingSimulator;
 use serde::{Deserialize, Serialize};
@@ -170,6 +170,34 @@ impl MegatronPlanner {
         best
     }
 
+    /// Like [`Self::search`], but with typed errors for degenerate inputs: an
+    /// empty GPU set reports [`PlanError::NoUsableGpus`], an exhausted
+    /// configuration grid [`PlanError::InfeasibleConfiguration`].
+    pub fn search_checked(
+        &self,
+        gpus: &[GpuId],
+    ) -> Result<(MegatronConfig, ParallelizationPlan, f64), PlanError> {
+        if gpus.is_empty() {
+            return Err(PlanError::NoUsableGpus);
+        }
+        self.search(gpus)
+            .ok_or_else(|| PlanError::InfeasibleConfiguration {
+                backend: "megatron".into(),
+                reason: format!(
+                    "no DP×TP×PP configuration over {} GPUs fits batch {} in memory",
+                    gpus.len(),
+                    self.global_batch_size
+                ),
+            })
+    }
+
+    /// Whether [`Self::search`] would have chosen activation checkpointing for
+    /// this plan: the search prefers the cheaper non-AC variant and only
+    /// enables AC when the plan does not fit in memory without it.
+    pub fn requires_activation_checkpointing(&self, plan: &ParallelizationPlan) -> bool {
+        !CostModel::new(self.coeffs.clone()).memory_feasible(plan)
+    }
+
     /// Simulate one step of a uniform plan under a straggler situation.
     pub fn simulate_step(
         &self,
@@ -271,6 +299,19 @@ mod tests {
             activation_checkpointing: false,
         };
         assert!(p.plan_with_config(&gpu_ids(64), &config).is_none());
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_typed_errors() {
+        let p = planner(ModelSpec::llama2_110b(), 64);
+        assert_eq!(p.search_checked(&[]), Err(PlanError::NoUsableGpus));
+        // A single GPU cannot hold the 110B model under any configuration.
+        match p.search_checked(&gpu_ids(1)) {
+            Err(PlanError::InfeasibleConfiguration { backend, .. }) => {
+                assert_eq!(backend, "megatron");
+            }
+            other => panic!("expected InfeasibleConfiguration, got {other:?}"),
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::megatron::MegatronPlanner;
 use crate::restart::{gpus_on_nodes, nodes_without_stragglers};
 use malleus_cluster::ClusterSnapshot;
+use malleus_core::PlanError;
 use malleus_model::ProfiledCoefficients;
 use malleus_sim::restart_time;
 use serde::{Deserialize, Serialize};
@@ -127,6 +128,29 @@ impl OobleckPlanner {
             transition_cost,
         })
     }
+
+    /// Like [`Self::handle_situation`], but with typed errors: an all-straggler
+    /// cluster reports [`PlanError::NoHealthyNodes`], an exhausted template
+    /// search [`PlanError::InfeasibleConfiguration`].
+    pub fn handle_situation_checked(
+        &self,
+        snapshot: &ClusterSnapshot,
+        previous_nodes: &[u32],
+        initial_nodes: usize,
+    ) -> Result<OobleckOutcome, PlanError> {
+        let nodes = nodes_without_stragglers(snapshot, self.threshold);
+        if nodes.is_empty() {
+            return Err(PlanError::NoHealthyNodes);
+        }
+        self.handle_situation(snapshot, previous_nodes, initial_nodes)
+            .ok_or_else(|| PlanError::InfeasibleConfiguration {
+                backend: "oobleck".into(),
+                reason: format!(
+                    "no pipeline template fits on {} straggler-free nodes",
+                    nodes.len()
+                ),
+            })
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +198,19 @@ mod tests {
         let s3 = snapshot_for(PaperSituation::S3);
         let outcome = p.handle_situation(&s3, &[1, 2, 3], 4).unwrap();
         assert_eq!(outcome.transition, OobleckTransition::Migrated);
+    }
+
+    #[test]
+    fn all_straggler_cluster_yields_typed_error() {
+        let p = planner();
+        let mut cluster = Cluster::homogeneous(2, 8);
+        for gpu in 0..16 {
+            cluster.set_rate(malleus_cluster::GpuId(gpu), 1.5);
+        }
+        let err = p
+            .handle_situation_checked(&cluster.snapshot(), &[0, 1], 2)
+            .unwrap_err();
+        assert_eq!(err, PlanError::NoHealthyNodes);
     }
 
     #[test]

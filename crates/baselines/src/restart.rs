@@ -9,6 +9,7 @@
 use crate::deepspeed::DeepSpeedPlanner;
 use crate::megatron::MegatronPlanner;
 use malleus_cluster::{ClusterSnapshot, GpuId};
+use malleus_core::PlanError;
 use malleus_model::ProfiledCoefficients;
 use malleus_sim::restart_time;
 use serde::{Deserialize, Serialize};
@@ -152,6 +153,32 @@ impl RestartPlanner {
         }
     }
 
+    /// Like [`Self::handle_situation`], but with typed errors: an all-straggler
+    /// cluster reports [`PlanError::NoHealthyNodes`], an exhausted
+    /// configuration search [`PlanError::InfeasibleConfiguration`].
+    pub fn handle_situation_checked(
+        &self,
+        snapshot: &ClusterSnapshot,
+        previous_nodes: Option<&[u32]>,
+    ) -> Result<RestartOutcome, PlanError> {
+        let nodes = nodes_without_stragglers(snapshot, self.threshold);
+        if nodes.is_empty() {
+            return Err(PlanError::NoHealthyNodes);
+        }
+        let backend = match self.family {
+            RestartFamily::Megatron => "megatron-restart",
+            RestartFamily::DeepSpeed => "deepspeed-restart",
+        };
+        self.handle_situation(snapshot, previous_nodes)
+            .ok_or_else(|| PlanError::InfeasibleConfiguration {
+                backend: backend.into(),
+                reason: format!(
+                    "no tuned configuration over {} straggler-free nodes is feasible",
+                    nodes.len()
+                ),
+            })
+    }
+
     /// The tuned configuration table across node counts (reproduces the shape
     /// of Tables 6–7: one entry per distinct number of excluded nodes).
     pub fn config_table(
@@ -255,6 +282,31 @@ mod tests {
         let outcome = planner.handle_situation(&s, None).unwrap();
         assert!(outcome.config.starts_with("DP"));
         assert!(outcome.step_time > 1.0);
+    }
+
+    #[test]
+    fn degenerate_snapshots_yield_typed_errors() {
+        let coeffs =
+            ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
+        let planner = RestartPlanner::new(RestartFamily::Megatron, coeffs, 64, 8);
+        // Every node hosts a straggler: nothing survives node-level exclusion.
+        let mut cluster = Cluster::homogeneous(2, 8);
+        cluster.set_rate(GpuId(0), 1.5);
+        cluster.set_rate(GpuId(8), f64::INFINITY);
+        let err = planner
+            .handle_situation_checked(&cluster.snapshot(), None)
+            .unwrap_err();
+        assert_eq!(err, PlanError::NoHealthyNodes);
+        // A zero-GPU cluster has no healthy nodes either.
+        let empty = ClusterSnapshot {
+            num_nodes: 0,
+            node_of: vec![],
+            rates: vec![],
+        };
+        assert_eq!(
+            planner.handle_situation_checked(&empty, None).unwrap_err(),
+            PlanError::NoHealthyNodes
+        );
     }
 
     #[test]

@@ -16,7 +16,15 @@ pub fn theoretic_optimal_time(healthy_step_time: f64, snapshot: &ClusterSnapshot
 
 /// Gap of an actual time from the theoretic optimum, `1 − T_opt / T_actual`
 /// (the metric annotated in Figure 9).
+///
+/// Degenerate measurements — non-finite or non-positive times, as produced by
+/// NaN cost coefficients, an all-failed cluster (`T_opt = ∞ · 0`), or a zero
+/// healthy step time (`T_opt = 0`) — return `NaN` so report tables can render
+/// "n/a" instead of a garbage percentage.
 pub fn gap_from_optimum(actual: f64, optimum: f64) -> f64 {
+    if !actual.is_finite() || !optimum.is_finite() || actual <= 0.0 || optimum <= 0.0 {
+        return f64::NAN;
+    }
     1.0 - optimum / actual
 }
 
@@ -47,5 +55,24 @@ mod tests {
     fn gap_is_zero_when_actual_equals_optimum() {
         assert!(gap_from_optimum(10.0, 10.0).abs() < 1e-12);
         assert!((gap_from_optimum(12.0, 10.0) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_gaps_are_nan_not_garbage() {
+        // Zero optimum (e.g. zero healthy step time) must not read as a
+        // perfect 100% gap.
+        assert!(gap_from_optimum(10.0, 0.0).is_nan());
+        // NaN coefficients propagate as NaN, never as a finite percentage.
+        assert!(gap_from_optimum(f64::NAN, 10.0).is_nan());
+        assert!(gap_from_optimum(10.0, f64::NAN).is_nan());
+        // Infinite actual time (a failed run) is not a 100% gap either.
+        assert!(gap_from_optimum(f64::INFINITY, 10.0).is_nan());
+        assert!(gap_from_optimum(10.0, f64::INFINITY).is_nan());
+        // Non-positive times are measurement errors.
+        assert!(gap_from_optimum(-1.0, 10.0).is_nan());
+        assert!(gap_from_optimum(0.0, 10.0).is_nan());
+        assert!(gap_from_optimum(10.0, -1.0).is_nan());
+        // Healthy inputs still produce the Figure 9 metric.
+        assert!((gap_from_optimum(20.0, 10.0) - 0.5).abs() < 1e-12);
     }
 }

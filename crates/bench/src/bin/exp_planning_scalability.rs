@@ -4,15 +4,20 @@
 //! pipeline division, group ordering and work assignment — for the paper's
 //! 64-GPU S3 scenario and for a simulated 1024-GPU cluster (128 nodes) with 32
 //! stragglers (~3% of the fleet) and a global batch scaled to 1024, both on the
-//! 110B model.
+//! 110B model.  Results also land in `BENCH_planning.json` for CI to upload.
 //!
 //! ```bash
-//! cargo run --release -p malleus-bench --bin exp_planning_scalability
+//! cargo run --release -p malleus-bench --bin exp_planning_scalability            # full
+//! cargo run --release -p malleus-bench --bin exp_planning_scalability -- --smoke # 64-GPU only
 //! ```
+//!
+//! `--smoke` runs only the 64-GPU S3 breakdown (the 1024-GPU plan and the
+//! scenario matrix are minutes of planner work); the JSON artifact is written
+//! in both modes.
 
 use malleus_bench::paper_workloads;
 use malleus_bench::table::Table;
-use malleus_bench::ScenarioMatrix;
+use malleus_bench::{write_json, JsonValue, ScenarioMatrix};
 use malleus_cluster::{Cluster, GpuId, PaperSituation, StragglerLevel};
 use malleus_core::{Parallelism, PlanTiming, Planner, PlannerConfig};
 use malleus_model::{HardwareParams, ProfiledCoefficients};
@@ -32,8 +37,26 @@ fn row(label: &str, timing: &PlanTiming, table: &mut Table) {
     ]);
 }
 
+fn timing_json(label: &str, timing: &PlanTiming) -> JsonValue {
+    JsonValue::obj(vec![
+        ("scenario", JsonValue::str(label)),
+        ("grouping", JsonValue::Num(timing.grouping.as_secs_f64())),
+        ("division", JsonValue::Num(timing.division.as_secs_f64())),
+        ("ordering", JsonValue::Num(timing.ordering.as_secs_f64())),
+        (
+            "assignment",
+            JsonValue::Num(timing.assignment.as_secs_f64()),
+        ),
+        ("total", JsonValue::Num(timing.total().as_secs_f64())),
+    ])
+}
+
 fn main() {
-    println!("Experiment: planning-time breakdown and scalability (Table 5, Appendix A.2)");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "Experiment: planning-time breakdown and scalability (Table 5, Appendix A.2){}",
+        if smoke { " (smoke: 64-GPU only)" } else { "" }
+    );
     let workload = &paper_workloads()[2]; // 110B
     let mut table = Table::new([
         "scenario",
@@ -43,55 +66,64 @@ fn main() {
         "work assignment",
         "total",
     ]);
+    let mut breakdowns = Vec::new();
 
     // ---- 64 GPUs, S3 ----
     let snapshot = workload.snapshot_for(PaperSituation::S3);
     let planner = workload.planner();
     let outcome = planner.plan(&snapshot).expect("64-GPU plan");
     row("64 GPUs (S3, B=64)", &outcome.timing, &mut table);
+    breakdowns.push(timing_json("64 GPUs (S3, B=64)", &outcome.timing));
 
-    // ---- 1024 GPUs, 32 random stragglers, B = 1024 ----
-    let mut cluster = Cluster::homogeneous(128, 8);
-    let mut rng = StdRng::seed_from_u64(2025);
-    let mut ids: Vec<u32> = (0..1024).collect();
-    ids.shuffle(&mut rng);
-    for (i, gpu) in ids.into_iter().take(32).enumerate() {
-        let level = match i % 3 {
-            0 => StragglerLevel::Level1,
-            1 => StragglerLevel::Level2,
-            _ => StragglerLevel::Level3,
-        };
-        cluster.set_rate(GpuId(gpu), level.rate());
-    }
-    let coeffs =
-        ProfiledCoefficients::derive(workload.spec.clone(), HardwareParams::a800_cluster());
-    // The paper keeps the DP degree fixed when scaling out (the global batch is
-    // scaled linearly); we fix DP = 8 and micro-batch 1 to match the analysis.
-    let planner = Planner::new(
-        coeffs,
-        PlannerConfig {
-            global_batch_size: 1024,
-            candidate_micro_batch_sizes: vec![1],
-            fixed_dp: Some(8),
-            ..PlannerConfig::default()
-        },
-    );
-    match planner.plan(&cluster.snapshot()) {
-        Ok(outcome) => {
-            row(
-                "1024 GPUs (32 stragglers, B=1024)",
-                &outcome.timing,
-                &mut table,
-            );
-            println!(
-                "1024-GPU plan: DP {} | max TP {} | estimated {:.2} s/step | {} standby GPUs",
-                outcome.dp,
-                outcome.chosen_tp,
-                outcome.estimated_step_time,
-                outcome.plan.removed_gpus.len()
-            );
+    // ---- 1024 GPUs, 32 random stragglers, B = 1024 (full mode only) ----
+    if !smoke {
+        let mut cluster = Cluster::homogeneous(128, 8);
+        let mut rng = StdRng::seed_from_u64(2025);
+        let mut ids: Vec<u32> = (0..1024).collect();
+        ids.shuffle(&mut rng);
+        for (i, gpu) in ids.into_iter().take(32).enumerate() {
+            let level = match i % 3 {
+                0 => StragglerLevel::Level1,
+                1 => StragglerLevel::Level2,
+                _ => StragglerLevel::Level3,
+            };
+            cluster.set_rate(GpuId(gpu), level.rate());
         }
-        Err(e) => println!("1024-GPU planning failed: {e}"),
+        let coeffs =
+            ProfiledCoefficients::derive(workload.spec.clone(), HardwareParams::a800_cluster());
+        // The paper keeps the DP degree fixed when scaling out (the global batch
+        // is scaled linearly); we fix DP = 8 and micro-batch 1 to match the
+        // analysis.
+        let planner = Planner::new(
+            coeffs,
+            PlannerConfig {
+                global_batch_size: 1024,
+                candidate_micro_batch_sizes: vec![1],
+                fixed_dp: Some(8),
+                ..PlannerConfig::default()
+            },
+        );
+        match planner.plan(&cluster.snapshot()) {
+            Ok(outcome) => {
+                row(
+                    "1024 GPUs (32 stragglers, B=1024)",
+                    &outcome.timing,
+                    &mut table,
+                );
+                breakdowns.push(timing_json(
+                    "1024 GPUs (32 stragglers, B=1024)",
+                    &outcome.timing,
+                ));
+                println!(
+                    "1024-GPU plan: DP {} | max TP {} | estimated {:.2} s/step | {} standby GPUs",
+                    outcome.dp,
+                    outcome.chosen_tp,
+                    outcome.estimated_step_time,
+                    outcome.plan.removed_gpus.len()
+                );
+            }
+            Err(e) => println!("1024-GPU planning failed: {e}"),
+        }
     }
 
     println!();
@@ -99,56 +131,76 @@ fn main() {
     println!("\n(The planner runs on background CPU processes and is overlapped with one training step, §5.3.)");
 
     // ---- Scenario matrix: serial oracle vs parallel candidate fan-out ----
-    let workers = Parallelism::Auto.workers();
-    println!(
-        "\nScenario matrix: serial vs parallel planning wall-clock ({workers} workers at auto)"
-    );
-    let mut table = Table::new([
-        "scenario",
-        "serial (s)",
-        "parallel (s)",
-        "speedup",
-        "plans identical",
-    ]);
-    for scenario in &ScenarioMatrix::large_scale().scenarios {
-        let snapshot = scenario.snapshot();
-        let serial_planner = scenario.planner(Parallelism::Fixed(1));
-        let t0 = Instant::now();
-        let serial = serial_planner.plan(&snapshot);
-        let serial_secs = t0.elapsed().as_secs_f64();
-
-        let parallel_planner = scenario.planner(Parallelism::Auto);
-        let t0 = Instant::now();
-        let parallel = parallel_planner.plan(&snapshot);
-        let parallel_secs = t0.elapsed().as_secs_f64();
-
-        let identical = match (&serial, &parallel) {
-            (Ok(a), Ok(b)) => {
-                a.plan == b.plan
-                    && a.estimated_step_time.to_bits() == b.estimated_step_time.to_bits()
-            }
-            (Err(_), Err(_)) => true,
-            _ => false,
-        };
-        table.row([
-            scenario.label.to_string(),
-            format!("{serial_secs:.2}"),
-            format!("{parallel_secs:.2}"),
-            format!("{:.2}x", serial_secs / parallel_secs.max(1e-9)),
-            identical.to_string(),
+    let mut matrix_records = Vec::new();
+    if !smoke {
+        let workers = Parallelism::Auto.workers();
+        println!(
+            "\nScenario matrix: serial vs parallel planning wall-clock ({workers} workers at auto)"
+        );
+        let mut table = Table::new([
+            "scenario",
+            "serial (s)",
+            "parallel (s)",
+            "speedup",
+            "plans identical",
         ]);
-        if let Ok(outcome) = &parallel {
-            println!(
-                "{}: DP {} | max TP {} | estimated {:.2} s/step | {} standby GPUs",
-                scenario.label,
-                outcome.dp,
-                outcome.chosen_tp,
-                outcome.estimated_step_time,
-                outcome.plan.removed_gpus.len()
-            );
+        for scenario in &ScenarioMatrix::large_scale().scenarios {
+            let snapshot = scenario.snapshot();
+            let serial_planner = scenario.planner(Parallelism::Fixed(1));
+            let t0 = Instant::now();
+            let serial = serial_planner.plan(&snapshot);
+            let serial_secs = t0.elapsed().as_secs_f64();
+
+            let parallel_planner = scenario.planner(Parallelism::Auto);
+            let t0 = Instant::now();
+            let parallel = parallel_planner.plan(&snapshot);
+            let parallel_secs = t0.elapsed().as_secs_f64();
+
+            let identical = match (&serial, &parallel) {
+                (Ok(a), Ok(b)) => {
+                    a.plan == b.plan
+                        && a.estimated_step_time.to_bits() == b.estimated_step_time.to_bits()
+                }
+                (Err(_), Err(_)) => true,
+                _ => false,
+            };
+            table.row([
+                scenario.label.to_string(),
+                format!("{serial_secs:.2}"),
+                format!("{parallel_secs:.2}"),
+                format!("{:.2}x", serial_secs / parallel_secs.max(1e-9)),
+                identical.to_string(),
+            ]);
+            matrix_records.push(JsonValue::obj(vec![
+                ("scenario", JsonValue::str(scenario.label)),
+                ("serial_secs", JsonValue::Num(serial_secs)),
+                ("parallel_secs", JsonValue::Num(parallel_secs)),
+                ("identical", JsonValue::Bool(identical)),
+            ]));
+            if let Ok(outcome) = &parallel {
+                println!(
+                    "{}: DP {} | max TP {} | estimated {:.2} s/step | {} standby GPUs",
+                    scenario.label,
+                    outcome.dp,
+                    outcome.chosen_tp,
+                    outcome.estimated_step_time,
+                    outcome.plan.removed_gpus.len()
+                );
+            }
         }
+        println!();
+        table.print();
+        println!("\n(Speedups require a multi-core host; at auto=1 worker both columns run the serial path.)");
     }
-    println!();
-    table.print();
-    println!("\n(Speedups require a multi-core host; at auto=1 worker both columns run the serial path.)");
+
+    let artifact = JsonValue::obj(vec![
+        ("experiment", JsonValue::str("planning_scalability")),
+        ("smoke", JsonValue::Bool(smoke)),
+        ("breakdowns", JsonValue::Arr(breakdowns)),
+        ("scenario_matrix", JsonValue::Arr(matrix_records)),
+    ]);
+    match write_json("BENCH_planning.json", &artifact) {
+        Ok(()) => println!("\nWrote BENCH_planning.json"),
+        Err(e) => println!("\nWARNING: could not write BENCH_planning.json: {e}"),
+    }
 }

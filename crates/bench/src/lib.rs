@@ -7,10 +7,14 @@
 //! under `benches/` cover the planner, solver and simulator hot paths.
 //!
 //! This library holds the shared pieces: canonical workload setups
-//! ([`scenarios`]) and minimal text-table rendering ([`table`]).
+//! ([`scenarios`]), minimal text-table rendering ([`table`]), and a
+//! hand-rolled JSON writer for the machine-readable `BENCH_*.json` artifacts
+//! CI uploads ([`report`]).
 
+pub mod report;
 pub mod scenarios;
 pub mod table;
 
+pub use report::{write_json, JsonValue};
 pub use scenarios::{paper_workloads, PaperWorkload, ScenarioMatrix, SyntheticScenario};
 pub use table::Table;

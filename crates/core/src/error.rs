@@ -14,6 +14,15 @@ pub enum PlanError {
     InvalidPlan { reason: String },
     /// The requested data-parallel degree cannot be realized.
     InfeasibleDataParallel { dp: usize, groups: usize },
+    /// Every node hosts a straggler or failure, so a node-granularity backend
+    /// (Oobleck, restart-on-failure) has nothing left to run on.
+    NoHealthyNodes,
+    /// A baseline backend exhausted its configuration grid without finding a
+    /// runnable setting.
+    InfeasibleConfiguration { backend: String, reason: String },
+    /// A static backend cannot adapt to the observed cluster event (e.g.
+    /// Megatron-LM after a participating GPU fails).
+    CannotAdapt { backend: String, reason: String },
 }
 
 impl std::fmt::Display for PlanError {
@@ -30,6 +39,18 @@ impl std::fmt::Display for PlanError {
                 f,
                 "cannot build {dp} pipelines from {groups} tensor-parallel groups"
             ),
+            PlanError::NoHealthyNodes => {
+                write!(
+                    f,
+                    "no straggler-free nodes left for a node-granularity backend"
+                )
+            }
+            PlanError::InfeasibleConfiguration { backend, reason } => {
+                write!(f, "{backend}: no feasible configuration: {reason}")
+            }
+            PlanError::CannotAdapt { backend, reason } => {
+                write!(f, "{backend}: cannot adapt to the cluster event: {reason}")
+            }
         }
     }
 }
@@ -51,5 +72,20 @@ mod tests {
         assert!(PlanError::InfeasibleDataParallel { dp: 4, groups: 2 }
             .to_string()
             .contains("4"));
+        assert!(PlanError::NoHealthyNodes
+            .to_string()
+            .contains("straggler-free"));
+        assert!(PlanError::InfeasibleConfiguration {
+            backend: "megatron".into(),
+            reason: "grid exhausted".into()
+        }
+        .to_string()
+        .contains("megatron"));
+        assert!(PlanError::CannotAdapt {
+            backend: "deepspeed".into(),
+            reason: "participant failed".into()
+        }
+        .to_string()
+        .contains("participant failed"));
     }
 }

@@ -26,6 +26,7 @@
 //! a new plan on the fly (§5.1).
 
 pub mod assignment;
+pub mod backend;
 pub mod cost;
 pub mod error;
 pub mod grouping;
@@ -35,6 +36,10 @@ pub mod parallel;
 pub mod plan;
 pub mod planner;
 
+pub use backend::{
+    malleus_constructor, BackendConstructor, BackendId, ClusterEvent, ConfigFingerprint,
+    PlanBackend, PlannedOutcome, DEFAULT_STRAGGLER_THRESHOLD,
+};
 pub use cost::CostModel;
 pub use error::PlanError;
 pub use grouping::{group_cluster, GroupingResult};

@@ -21,5 +21,8 @@ pub mod session;
 
 pub use executor::Executor;
 pub use profiler::{Profiler, ProfilerObservation};
-pub use replanner::{replan_overlapped, replan_overlapped_shared, ReplanOutcome};
+pub use replanner::{
+    replan_overlapped, replan_overlapped_backend, replan_overlapped_shared, BackendReplan,
+    ReplanOutcome,
+};
 pub use session::{PhaseReport, RuntimeError, SessionReport, TrainingSession};

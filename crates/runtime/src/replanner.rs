@@ -15,7 +15,11 @@
 //! whatever the worker count, so overlap never trades away plan quality.
 
 use malleus_cluster::ClusterSnapshot;
-use malleus_core::{ParallelizationPlan, PlanError, PlanOutcome, Planner};
+use malleus_core::{
+    BackendId, ClusterEvent, ParallelizationPlan, PlanBackend, PlanError, PlanOutcome,
+    PlannedOutcome, Planner, PlannerConfig, DEFAULT_STRAGGLER_THRESHOLD,
+};
+use malleus_model::ProfiledCoefficients;
 use malleus_service::{PlanRequest, PlanService, ServiceError};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +33,21 @@ pub struct ReplanOutcome {
     /// Seconds of training stall not hidden by the overlap (usually zero).
     pub stall_time: f64,
     /// Whether the new plan differs from the previous one.
+    pub plan_changed: bool,
+}
+
+/// Result of an overlapped re-planning round through a backend-neutral
+/// [`PlanBackend`] (the trait-path analogue of [`ReplanOutcome`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendReplan {
+    /// The backend's output.
+    pub outcome: PlannedOutcome,
+    /// Wall-clock planning time in seconds.
+    pub planning_time: f64,
+    /// Seconds of training stall not hidden by the overlap (usually zero).
+    pub stall_time: f64,
+    /// Whether the adapted plan (or active GPU set) differs from the previous
+    /// one.
     pub plan_changed: bool,
 }
 
@@ -60,41 +79,80 @@ pub fn replan_overlapped(
     })
 }
 
+/// Overlapped re-planning through an arbitrary [`PlanBackend`] handle.
+///
+/// The cluster event is classified from the previous outcome's active GPU set
+/// against the observed snapshot ([`ClusterEvent::classify`] with the paper's
+/// 5% threshold), then handed to the backend's `replan`.  Static backends
+/// (plain Megatron-LM / DeepSpeed) answer failures with
+/// `PlanError::CannotAdapt`, which propagates — the caller decides whether
+/// that kills the run (it does, for them: that is the paper's point).
+pub fn replan_overlapped_backend(
+    backend: &dyn PlanBackend,
+    snapshot: &ClusterSnapshot,
+    previous: &PlannedOutcome,
+    current_step_time: f64,
+) -> Result<BackendReplan, PlanError> {
+    let t0 = std::time::Instant::now();
+    let event = ClusterEvent::classify(previous, snapshot, DEFAULT_STRAGGLER_THRESHOLD);
+    let outcome = backend.replan(snapshot, previous, event)?;
+    let planning_time = t0.elapsed().as_secs_f64();
+    let stall_time = (planning_time - current_step_time).max(0.0);
+    let plan_changed = outcome.plan != previous.plan || outcome.active_gpus != previous.active_gpus;
+    Ok(BackendReplan {
+        outcome,
+        planning_time,
+        stall_time,
+        plan_changed,
+    })
+}
+
 /// Service-backed overlapped re-planning: like [`replan_overlapped`], but the
 /// planner invocation goes through a shared [`PlanService`], so N sessions
 /// replanning after the same cluster event (same snapshot, same coefficients,
-/// same configuration) pay for one planner run and share the cached plan.
+/// same configuration, same backend) pay for one planner run and share the
+/// cached plan.
 ///
-/// Mirrors `Planner::replan` exactly: first request the plan with the
-/// previous DP degree pinned (the paper maintains DP across adjustments,
-/// footnote 2); if no feasible plan exists with that degree, fall back to the
-/// unconstrained search.  Backpressure ([`ServiceError::Overloaded`]) is
-/// *not* treated as infeasibility — it propagates so the session can back off
-/// rather than silently re-running the expensive fallback.
+/// For [`BackendId::Malleus`] this mirrors `Planner::replan` exactly: first
+/// request the plan with the previous DP degree pinned (the paper maintains
+/// DP across adjustments, footnote 2); if no feasible plan exists with that
+/// degree, fall back to the unconstrained search.  Other backends are
+/// stateless over the snapshot, so a single `plan_backend` request suffices.
+/// Backpressure ([`ServiceError::Overloaded`]) is *not* treated as
+/// infeasibility — it propagates so the session can back off rather than
+/// silently re-running the expensive fallback.
 pub fn replan_overlapped_shared(
     service: &PlanService,
-    planner: &Planner,
+    backend: BackendId,
+    coeffs: &ProfiledCoefficients,
+    config: &PlannerConfig,
     snapshot: &ClusterSnapshot,
     previous: &ParallelizationPlan,
     current_step_time: f64,
-) -> Result<ReplanOutcome, ServiceError> {
+) -> Result<BackendReplan, ServiceError> {
     let t0 = std::time::Instant::now();
-    let mut pinned_config = planner.config.clone();
-    pinned_config.fixed_dp = Some(previous.dp());
-    let pinned = PlanRequest::new(planner.cost.coeffs.clone(), snapshot.clone(), pinned_config);
-    let outcome = match service.plan(&pinned) {
-        Ok(outcome) => outcome,
-        Err(ServiceError::Plan(_)) => service.plan(&PlanRequest::new(
-            planner.cost.coeffs.clone(),
-            snapshot.clone(),
-            planner.config.clone(),
-        ))?,
-        Err(e) => return Err(e),
+    let outcome = if backend == BackendId::Malleus {
+        let mut pinned_config = config.clone();
+        pinned_config.fixed_dp = Some(previous.dp());
+        let pinned = PlanRequest::new(coeffs.clone(), snapshot.clone(), pinned_config);
+        match service.plan_backend(backend, &pinned) {
+            Ok(outcome) => outcome,
+            Err(ServiceError::Plan(_)) => service.plan_backend(
+                backend,
+                &PlanRequest::new(coeffs.clone(), snapshot.clone(), config.clone()),
+            )?,
+            Err(e) => return Err(e),
+        }
+    } else {
+        service.plan_backend(
+            backend,
+            &PlanRequest::new(coeffs.clone(), snapshot.clone(), config.clone()),
+        )?
     };
     let planning_time = t0.elapsed().as_secs_f64();
     let stall_time = (planning_time - current_step_time).max(0.0);
-    let plan_changed = outcome.plan != *previous;
-    Ok(ReplanOutcome {
+    let plan_changed = outcome.plan.as_ref() != Some(previous);
+    Ok(BackendReplan {
         outcome: (*outcome).clone(),
         planning_time,
         stall_time,
@@ -181,10 +239,21 @@ mod tests {
         // Two tenants replanning after the same cluster event: one planner
         // invocation, bit-identical to the direct path for both.
         for _ in 0..2 {
-            let shared =
-                replan_overlapped_shared(&service, &p, &snapshot, &initial.plan, 12.0).unwrap();
-            assert_eq!(shared.outcome.plan, direct.outcome.plan);
-            assert_eq!(shared.outcome.dp, direct.outcome.dp);
+            let shared = replan_overlapped_shared(
+                &service,
+                BackendId::Malleus,
+                &p.cost.coeffs,
+                &p.config,
+                &snapshot,
+                &initial.plan,
+                12.0,
+            )
+            .unwrap();
+            assert_eq!(shared.outcome.plan.as_ref(), Some(&direct.outcome.plan));
+            assert_eq!(
+                shared.outcome.plan.as_ref().unwrap().dp(),
+                direct.outcome.dp
+            );
             assert_eq!(
                 shared.outcome.estimated_step_time.to_bits(),
                 direct.outcome.estimated_step_time.to_bits()
@@ -194,6 +263,24 @@ mod tests {
         let metrics = service.metrics();
         assert_eq!(metrics.planner_invocations, 1);
         assert_eq!(metrics.hits, 1);
+    }
+
+    #[test]
+    fn backend_trait_replanning_matches_the_direct_path() {
+        let p = planner();
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let initial = p.plan(&cluster.snapshot()).unwrap();
+        cluster.set_rate(GpuId(0), 5.42);
+        let snapshot = cluster.snapshot();
+        let direct = replan_overlapped(&p, &snapshot, &initial.plan, 12.0).unwrap();
+        let previous = malleus_core::PlannedOutcome::from_malleus(initial);
+        let via_trait = replan_overlapped_backend(&p, &snapshot, &previous, 12.0).unwrap();
+        assert_eq!(via_trait.outcome.plan.as_ref(), Some(&direct.outcome.plan));
+        assert_eq!(
+            via_trait.outcome.estimated_step_time.to_bits(),
+            direct.outcome.estimated_step_time.to_bits()
+        );
+        assert_eq!(via_trait.plan_changed, direct.plan_changed);
     }
 
     #[test]
@@ -210,10 +297,18 @@ mod tests {
         let snapshot = cluster.snapshot();
         let direct = p.replan(&snapshot, &initial.plan).unwrap();
         let service = PlanService::new(ServiceConfig::default());
-        let shared =
-            replan_overlapped_shared(&service, &p, &snapshot, &initial.plan, 12.0).unwrap();
-        assert_eq!(shared.outcome.plan, direct.plan);
-        assert_eq!(shared.outcome.dp, direct.dp);
+        let shared = replan_overlapped_shared(
+            &service,
+            BackendId::Malleus,
+            &p.cost.coeffs,
+            &p.config,
+            &snapshot,
+            &initial.plan,
+            12.0,
+        )
+        .unwrap();
+        assert_eq!(shared.outcome.plan.as_ref(), Some(&direct.plan));
+        assert_eq!(shared.outcome.plan.as_ref().unwrap().dp(), direct.dp);
     }
 
     #[test]

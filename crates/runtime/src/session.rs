@@ -12,9 +12,13 @@
 
 use crate::executor::Executor;
 use crate::profiler::Profiler;
-use crate::replanner::{replan_overlapped, replan_overlapped_shared, ReplanOutcome};
+use crate::replanner::{
+    replan_overlapped, replan_overlapped_backend, replan_overlapped_shared, ReplanOutcome,
+};
 use malleus_cluster::{Cluster, ClusterSnapshot, Trace};
-use malleus_core::{PlanError, PlanOutcome, Planner, PlannerConfig};
+use malleus_core::{
+    BackendId, PlanBackend, PlanError, PlanOutcome, PlannedOutcome, Planner, PlannerConfig,
+};
 use malleus_model::ProfiledCoefficients;
 use malleus_service::{PlanRequest, PlanService, ServiceError};
 use malleus_sim::restart_time;
@@ -127,6 +131,10 @@ pub struct TrainingSession {
     /// (initial plan and re-planning) is routed through it, so concurrent
     /// sessions planning against the same snapshot share one computation.
     service: Option<Arc<PlanService>>,
+    /// Optional backend handle: when set, planning and re-planning go through
+    /// this [`PlanBackend`] instead of the built-in Malleus planner, so the
+    /// same session loop drives any of the paper's comparison systems.
+    backend: Option<Arc<dyn PlanBackend>>,
 }
 
 impl TrainingSession {
@@ -138,6 +146,7 @@ impl TrainingSession {
             profiler: Profiler::default(),
             cluster,
             service: None,
+            backend: None,
         }
     }
 
@@ -148,6 +157,17 @@ impl TrainingSession {
     /// wall-clock.
     pub fn with_service(mut self, service: Arc<PlanService>) -> Self {
         self.service = Some(service);
+        self
+    }
+
+    /// Drive this session's planning through an arbitrary [`PlanBackend`]
+    /// (Malleus itself, or any baseline).  The backend must produce an
+    /// executable [`malleus_core::ParallelizationPlan`] (`plan: Some`) —
+    /// configuration-only backends like DeepSpeed cannot feed the executor
+    /// and fail with [`RuntimeError::Planning`].  Takes precedence over
+    /// [`TrainingSession::with_service`] for plan computation.
+    pub fn with_backend(mut self, backend: Arc<dyn PlanBackend>) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -194,12 +214,27 @@ impl TrainingSession {
             Some(service) => {
                 match replan_overlapped_shared(
                     service,
-                    &self.planner,
+                    BackendId::Malleus,
+                    &self.planner.cost.coeffs,
+                    &self.planner.config,
                     snapshot,
                     previous,
                     current_step_time,
                 ) {
-                    Ok(outcome) => Ok(outcome),
+                    Ok(replan) => {
+                        let malleus = replan.outcome.malleus.clone().ok_or_else(|| {
+                            RuntimeError::Planning(
+                                "service returned a non-Malleus outcome on the Malleus route"
+                                    .into(),
+                            )
+                        })?;
+                        Ok(ReplanOutcome {
+                            outcome: (*malleus).clone(),
+                            planning_time: replan.planning_time,
+                            stall_time: replan.stall_time,
+                            plan_changed: replan.plan_changed,
+                        })
+                    }
                     Err(ServiceError::Overloaded { .. }) => Ok(replan_overlapped(
                         &self.planner,
                         snapshot,
@@ -229,8 +264,20 @@ impl TrainingSession {
         if let Some(first) = trace.phases.first() {
             self.cluster.apply_situation(&first.situation.rates);
         }
-        let initial = self.plan_initial(&self.observed())?;
-        self.executor.instantiate(initial.plan.clone());
+        let initial = match &self.backend {
+            Some(backend) => backend
+                .plan(&self.observed(), &self.planner.config)
+                .map_err(RuntimeError::from)?,
+            None => PlannedOutcome::from_malleus(self.plan_initial(&self.observed())?),
+        };
+        let first_plan = initial.plan.clone().ok_or_else(|| {
+            RuntimeError::Planning(format!(
+                "{} produced no executable plan for the initial snapshot",
+                initial.backend
+            ))
+        })?;
+        self.executor.instantiate(first_plan);
+        let mut current = initial.clone();
 
         for (index, phase) in trace.phases.iter().enumerate() {
             self.cluster.apply_situation(&phase.situation.rates);
@@ -268,22 +315,50 @@ impl TrainingSession {
                     .current_plan()
                     .expect("executor always holds a plan after instantiate")
                     .clone();
-                let replan = self.replan(
-                    &snapshot,
-                    &previous,
-                    if step_before.is_finite() {
-                        step_before
-                    } else {
-                        0.0
-                    },
-                )?;
-                replanned = true;
-                planning_time = replan.planning_time;
-                stall_time = replan.stall_time;
-                estimated = replan.outcome.estimated_step_time;
-                if replan.plan_changed {
-                    let cost = self.executor.migrate_to(replan.outcome.plan, &snapshot);
-                    migration_time = cost.time;
+                let step = if step_before.is_finite() {
+                    step_before
+                } else {
+                    0.0
+                };
+                match &self.backend {
+                    Some(backend) => {
+                        let replan =
+                            replan_overlapped_backend(backend.as_ref(), &snapshot, &current, step)
+                                .map_err(RuntimeError::from)?;
+                        replanned = true;
+                        planning_time = replan.planning_time;
+                        stall_time = replan.stall_time;
+                        estimated = replan.outcome.estimated_step_time;
+                        if replan.plan_changed {
+                            let new_plan = replan.outcome.plan.clone().ok_or_else(|| {
+                                RuntimeError::Planning(format!(
+                                    "{} produced no executable plan after the cluster event",
+                                    replan.outcome.backend
+                                ))
+                            })?;
+                            let cost = self.executor.migrate_to(new_plan, &snapshot);
+                            // Backends with their own transition model (restart,
+                            // Oobleck) report the cost they pay; Malleus-style
+                            // live migration is priced by the executor.
+                            migration_time = if replan.outcome.transition_cost > 0.0 {
+                                replan.outcome.transition_cost
+                            } else {
+                                cost.time
+                            };
+                        }
+                        current = replan.outcome;
+                    }
+                    None => {
+                        let replan = self.replan(&snapshot, &previous, step)?;
+                        replanned = true;
+                        planning_time = replan.planning_time;
+                        stall_time = replan.stall_time;
+                        estimated = replan.outcome.estimated_step_time;
+                        if replan.plan_changed {
+                            let cost = self.executor.migrate_to(replan.outcome.plan, &snapshot);
+                            migration_time = cost.time;
+                        }
+                    }
                 }
             }
 
@@ -492,6 +567,31 @@ mod tests {
             "the saturated service should have shed at least the first request"
         );
         blocker.join().unwrap();
+    }
+
+    #[test]
+    fn malleus_backend_session_matches_the_direct_session() {
+        let cluster = Cluster::homogeneous(4, 8);
+        let trace = short_trace(
+            &cluster,
+            &[
+                PaperSituation::Normal,
+                PaperSituation::S2,
+                PaperSituation::Normal,
+            ],
+        );
+        let direct = session(cluster.clone()).run(&trace).expect("direct");
+        let s = session(cluster);
+        let handle: Arc<dyn malleus_core::PlanBackend> = Arc::new(s.planner.clone());
+        let mut s = s.with_backend(handle);
+        let via_trait = s.run(&trace).expect("trait");
+        assert_eq!(via_trait.phases.len(), direct.phases.len());
+        for (ours, theirs) in via_trait.phases.iter().zip(direct.phases.iter()) {
+            assert_eq!(ours.step_time.to_bits(), theirs.step_time.to_bits());
+            assert_eq!(ours.dp, theirs.dp);
+            assert_eq!(ours.plan_description, theirs.plan_description);
+            assert_eq!(ours.migration_time, theirs.migration_time);
+        }
     }
 
     #[test]

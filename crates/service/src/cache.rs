@@ -1,24 +1,27 @@
 //! Sharded LRU cache of completed plans.
 //!
-//! Keys are the 64-bit [`crate::PlanRequest::key`] fingerprint; every hit is
-//! confirmed with a full-equality check of the stored request (the same
-//! discipline as `malleus_core::GroupingCache`), so fingerprint collisions
-//! degrade to recomputation, never to serving another tenant's plan.  Shards
-//! are independent mutexes selected by key, so concurrent tenants touching
-//! different plans do not contend on one lock.  Each shard evicts its
-//! least-recently-used entry once full; ties on the (shard-local) use clock
-//! break on the smaller key so eviction is deterministic.
+//! Keys are the 64-bit [`crate::KeyedRequest::key`] fingerprint (request
+//! fingerprint mixed with the backend id and the backend's config
+//! fingerprint); every hit is confirmed with a full-equality check of the
+//! stored keyed request (the same discipline as
+//! `malleus_core::GroupingCache`), so fingerprint collisions degrade to
+//! recomputation, never to serving another tenant's — or another backend's —
+//! plan.  Shards are independent mutexes selected by key, so concurrent
+//! tenants touching different plans do not contend on one lock.  Each shard
+//! evicts its least-recently-used entry once full; ties on the (shard-local)
+//! use clock break on the smaller key so eviction is deterministic.
 
-use crate::PlanRequest;
-use malleus_core::PlanOutcome;
+use crate::KeyedRequest;
+use malleus_core::PlannedOutcome;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 #[derive(Debug)]
 struct CacheEntry {
-    /// The request the plan was computed for (full-equality confirmation).
-    request: PlanRequest,
-    outcome: Arc<PlanOutcome>,
+    /// The keyed request the plan was computed for (full-equality
+    /// confirmation).
+    request: KeyedRequest,
+    outcome: Arc<PlannedOutcome>,
     /// Shard-local logical timestamp of the last hit or insertion.
     last_used: u64,
 }
@@ -53,7 +56,7 @@ impl ShardedPlanCache {
     /// Confirmed lookup: a fingerprint match whose stored request differs from
     /// `request` is reported as a miss (the entry stays until the recomputed
     /// plan replaces it).
-    pub fn get(&self, key: u64, request: &PlanRequest) -> Option<Arc<PlanOutcome>> {
+    pub fn get(&self, key: u64, request: &KeyedRequest) -> Option<Arc<PlannedOutcome>> {
         let mut shard = self.shard(key).lock().unwrap();
         shard.clock += 1;
         let now = shard.clock;
@@ -68,7 +71,7 @@ impl ShardedPlanCache {
     /// Insert a freshly computed plan, returning the number of entries evicted
     /// (0 or 1).  Re-inserting an existing key (including a fingerprint
     /// collision being replaced) never evicts a third entry.
-    pub fn insert(&self, key: u64, request: PlanRequest, outcome: Arc<PlanOutcome>) -> u64 {
+    pub fn insert(&self, key: u64, request: KeyedRequest, outcome: Arc<PlannedOutcome>) -> u64 {
         if self.capacity_per_shard == 0 {
             return 0;
         }

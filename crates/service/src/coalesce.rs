@@ -8,25 +8,26 @@
 //! leader's request and falls back to an independent computation, so
 //! coalescing can never hand a tenant another tenant's plan.
 
-use crate::{PlanRequest, ServiceError};
-use malleus_core::PlanOutcome;
+use crate::{KeyedRequest, ServiceError};
+use malleus_core::PlannedOutcome;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// What a computation produced, shared verbatim with every coalesced waiter.
-pub(crate) type PlanResult = Result<Arc<PlanOutcome>, ServiceError>;
+pub(crate) type PlanResult = Result<Arc<PlannedOutcome>, ServiceError>;
 
 /// One in-flight computation.
 #[derive(Debug)]
 pub(crate) struct InFlight {
-    /// The leader's request (followers confirm full equality before waiting).
-    request: PlanRequest,
+    /// The leader's keyed request (followers confirm full equality — backend
+    /// included — before waiting).
+    request: KeyedRequest,
     result: Mutex<Option<PlanResult>>,
     ready: Condvar,
 }
 
 impl InFlight {
-    fn new(request: PlanRequest) -> Self {
+    fn new(request: KeyedRequest) -> Self {
         Self {
             request,
             result: Mutex::new(None),
@@ -69,7 +70,7 @@ pub(crate) struct InFlightTable {
 
 impl InFlightTable {
     /// Join the in-flight computation for `key`, or become its leader.
-    pub fn join(&self, key: u64, request: &PlanRequest) -> Role {
+    pub fn join(&self, key: u64, request: &KeyedRequest) -> Role {
         let mut slots = self.slots.lock().unwrap();
         match slots.get(&key) {
             Some(slot) if slot.request.matches(request) => Role::Follower(Arc::clone(slot)),

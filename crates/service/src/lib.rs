@@ -7,10 +7,17 @@
 //! [`PlanService`] is an in-process, thread-based front end over
 //! `malleus_core::Planner` that amortizes identical work across tenants:
 //!
+//! * **Backend registry**: the service serves any registered
+//!   [`malleus_core::PlanBackend`] — the Malleus planner is registered at
+//!   construction, and baseline backends (Megatron-LM, DeepSpeed, Oobleck,
+//!   restart) can be added with [`PlanService::register_backend`] so one
+//!   deployment caches and coalesces plans for all five systems
+//!   ([`PlanService::plan_backend`]).  Metrics are broken out per backend.
 //! * **Sharded LRU plan cache** ([`cache`]) keyed by
 //!   ([`ClusterSnapshot::fingerprint`], coefficients fingerprint, config
-//!   fingerprint) with full-equality confirmation on every hit — the same
-//!   collision discipline as `malleus_core::GroupingCache`.
+//!   fingerprint, [`malleus_core::BackendId`], backend config fingerprint)
+//!   with full-equality confirmation on every hit — the same collision
+//!   discipline as `malleus_core::GroupingCache`.
 //! * **Request coalescing** ([`coalesce`]): concurrent identical requests
 //!   block on one in-flight computation (singleflight) instead of re-planning.
 //! * **Bounded admission** ([`admission`]): at most `max_concurrent_plans`
@@ -34,16 +41,20 @@ mod cache;
 mod coalesce;
 mod metrics;
 
-pub use metrics::ServiceMetrics;
+pub use metrics::{BackendMetrics, ServiceMetrics};
 
 use admission::AdmissionGate;
 use cache::ShardedPlanCache;
 use coalesce::{InFlightTable, Role};
 use malleus_cluster::ClusterSnapshot;
-use malleus_core::{GroupingCache, Parallelism, PlanError, PlanOutcome, Planner, PlannerConfig};
+use malleus_core::{
+    BackendConstructor, BackendId, GroupingCache, Parallelism, PlanBackend, PlanError, PlanOutcome,
+    PlannedOutcome, Planner, PlannerConfig,
+};
 use malleus_model::ProfiledCoefficients;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One tenant's planning request: the profiled coefficients (model spec +
@@ -93,6 +104,37 @@ impl PlanRequest {
         self.coeffs == other.coeffs
             && self.snapshot == other.snapshot
             && config_equivalent(&self.config, &other.config)
+    }
+}
+
+/// A [`PlanRequest`] routed to a specific backend: what the cache and the
+/// singleflight table actually key on.  The backend's own config fingerprint
+/// is included so two instances of the same backend with different knobs
+/// (e.g. Oobleck overhead factors) never share a cache line.
+#[derive(Debug, Clone)]
+pub(crate) struct KeyedRequest {
+    pub backend: BackendId,
+    pub backend_fingerprint: u64,
+    pub request: PlanRequest,
+}
+
+impl KeyedRequest {
+    /// The 64-bit cache/coalescing key: the request key mixed with the
+    /// backend identity.  Collisions are possible; every consumer confirms
+    /// with [`KeyedRequest::matches`].
+    pub fn key(&self) -> u64 {
+        let mut f = Fnv::new();
+        f.u64(self.request.key());
+        f.u64(self.backend.code());
+        f.u64(self.backend_fingerprint);
+        f.finish()
+    }
+
+    /// Full-equality confirmation for fingerprint hits.
+    pub fn matches(&self, other: &KeyedRequest) -> bool {
+        self.backend == other.backend
+            && self.backend_fingerprint == other.backend_fingerprint
+            && self.request.matches(&other.request)
     }
 }
 
@@ -264,6 +306,12 @@ pub enum ServiceError {
         /// What went wrong.
         reason: String,
     },
+    /// No constructor is registered for the requested backend; register one
+    /// with `PlanService::register_backend`.
+    UnknownBackend {
+        /// The backend the request named.
+        backend: BackendId,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -276,6 +324,9 @@ impl std::fmt::Display for ServiceError {
             ),
             ServiceError::Internal { reason } => {
                 write!(f, "planning service internal failure: {reason}")
+            }
+            ServiceError::UnknownBackend { backend } => {
+                write!(f, "no planning backend registered for {backend}")
             }
         }
     }
@@ -301,7 +352,7 @@ struct CompleteSlotOnDrop<'a> {
 }
 
 impl CompleteSlotOnDrop<'_> {
-    fn disarm(self, result: Result<Arc<PlanOutcome>, ServiceError>) {
+    fn disarm(self, result: Result<Arc<PlannedOutcome>, ServiceError>) {
         self.inflight.complete(self.key, self.slot, result);
         std::mem::forget(self);
     }
@@ -319,6 +370,23 @@ impl Drop for CompleteSlotOnDrop<'_> {
     }
 }
 
+/// Constructors for every backend the service can serve, keyed by
+/// [`BackendId`].  Constructors (not instances) are stored because a backend
+/// instance is specific to one (coefficients, config) pair, while the service
+/// is multi-tenant across both.
+struct BackendRegistry {
+    ctors: Mutex<BTreeMap<BackendId, Arc<BackendConstructor>>>,
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ids: Vec<BackendId> = self.ctors.lock().unwrap().keys().copied().collect();
+        f.debug_struct("BackendRegistry")
+            .field("ids", &ids)
+            .finish()
+    }
+}
+
 /// The multi-tenant planning service.  Cheap to share: callers typically hold
 /// it in an `Arc` and call [`PlanService::plan`] from many threads.
 #[derive(Debug)]
@@ -327,29 +395,63 @@ pub struct PlanService {
     cache: ShardedPlanCache,
     inflight: InFlightTable,
     admission: AdmissionGate,
-    /// Grouping memo shared across every tenant's planner instance (confirmed
-    /// per-hit against snapshot and coefficients, so cross-model sharing is
-    /// safe).
-    grouping: GroupingCache,
+    registry: BackendRegistry,
     metrics: metrics::MetricsRecorder,
 }
 
 impl PlanService {
-    /// Create a service.
+    /// Create a service.  The Malleus planner is pre-registered; baseline
+    /// backends are opt-in via [`PlanService::register_backend`].
     pub fn new(config: ServiceConfig) -> Self {
-        Self {
+        let service = Self {
             cache: ShardedPlanCache::new(config.shards, config.capacity_per_shard),
             inflight: InFlightTable::default(),
             admission: AdmissionGate::new(config.max_concurrent_plans, config.max_queue_depth),
-            grouping: GroupingCache::default(),
+            registry: BackendRegistry {
+                ctors: Mutex::new(BTreeMap::new()),
+            },
             metrics: metrics::MetricsRecorder::default(),
             config,
-        }
+        };
+        // Grouping memo shared across every tenant's planner instance
+        // (confirmed per-hit against snapshot and coefficients, so
+        // cross-model sharing is safe).
+        let grouping = GroupingCache::default();
+        service.register_backend(
+            BackendId::Malleus,
+            Arc::new(move |coeffs, config| {
+                Box::new(
+                    Planner::new(coeffs.clone(), config.clone())
+                        .with_grouping_cache(grouping.clone()),
+                )
+            }),
+        );
+        service
     }
 
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// Register (or replace) the constructor serving `id`.  Plans cached under
+    /// a previous constructor keep being served as long as the backend config
+    /// fingerprint still matches — constructors with different knobs must
+    /// fingerprint differently (see
+    /// [`malleus_core::PlanBackend::fingerprint_config`]).
+    pub fn register_backend(&self, id: BackendId, ctor: Arc<BackendConstructor>) {
+        self.registry.ctors.lock().unwrap().insert(id, ctor);
+    }
+
+    /// The backends currently registered, in [`BackendId`] order.
+    pub fn registered_backends(&self) -> Vec<BackendId> {
+        self.registry
+            .ctors
+            .lock()
+            .unwrap()
+            .keys()
+            .copied()
+            .collect()
     }
 
     /// Serve one planning request.
@@ -368,20 +470,63 @@ impl PlanService {
     /// never cached, so a transient infeasibility is retried on the next
     /// request.
     pub fn plan(&self, request: &PlanRequest) -> Result<Arc<PlanOutcome>, ServiceError> {
+        let planned = self.plan_backend(BackendId::Malleus, request)?;
+        planned
+            .malleus
+            .clone()
+            .ok_or_else(|| ServiceError::Internal {
+                reason: "Malleus backend produced an outcome without a PlanOutcome".into(),
+            })
+    }
+
+    /// Serve one planning request through an arbitrary registered backend.
+    ///
+    /// Same caching/coalescing/admission discipline as [`PlanService::plan`]
+    /// (which is this method specialized to [`BackendId::Malleus`]), but the
+    /// result is the backend-neutral [`PlannedOutcome`], and the cache key
+    /// includes the backend id and its config fingerprint so backends never
+    /// share cache lines.  Per-backend counters land in
+    /// [`ServiceMetrics::per_backend`].
+    pub fn plan_backend(
+        &self,
+        backend: BackendId,
+        request: &PlanRequest,
+    ) -> Result<Arc<PlannedOutcome>, ServiceError> {
         let start = Instant::now();
         metrics::MetricsRecorder::bump(&self.metrics.requests);
-        let key = request.key();
+        metrics::MetricsRecorder::bump(&self.metrics.backend(backend).requests);
 
-        if let Some(outcome) = self.cache.get(key, request) {
+        let ctor = self
+            .registry
+            .ctors
+            .lock()
+            .unwrap()
+            .get(&backend)
+            .cloned()
+            .ok_or(ServiceError::UnknownBackend { backend })?;
+        let mut exec_config = request.config.clone();
+        exec_config.parallelism = self.config.per_plan_parallelism();
+        let instance = ctor(&request.coeffs, &exec_config);
+        debug_assert_eq!(instance.id(), backend);
+        let keyed = KeyedRequest {
+            backend,
+            backend_fingerprint: instance.fingerprint_config(),
+            request: request.clone(),
+        };
+        let key = keyed.key();
+
+        if let Some(outcome) = self.cache.get(key, &keyed) {
             metrics::MetricsRecorder::bump(&self.metrics.hits);
+            metrics::MetricsRecorder::bump(&self.metrics.backend(backend).hits);
             self.metrics
                 .record_service_time(start.elapsed().as_secs_f64());
             return Ok(outcome);
         }
 
-        let result = match self.inflight.join(key, request) {
+        let result = match self.inflight.join(key, &keyed) {
             Role::Follower(slot) => {
                 metrics::MetricsRecorder::bump(&self.metrics.coalesced);
+                metrics::MetricsRecorder::bump(&self.metrics.backend(backend).coalesced);
                 slot.wait()
             }
             Role::Collision => {
@@ -389,7 +534,7 @@ impl PlanService {
                 // compute independently (and let our result take the cache
                 // slot) rather than waiting on — or corrupting — its slot.
                 metrics::MetricsRecorder::bump(&self.metrics.misses);
-                self.compute_and_store(key, request)
+                self.compute_and_store(key, &keyed, instance.as_ref(), &exec_config)
             }
             Role::Leader(slot) => {
                 // Whatever happens below — including a panic unwinding out of
@@ -407,14 +552,15 @@ impl PlanService {
                 // synchronize on the slot-table lock): re-check so the
                 // singleflight invariant — one planner invocation per
                 // distinct key — holds even across that race.
-                let result = match self.cache.get(key, request) {
+                let result = match self.cache.get(key, &keyed) {
                     Some(outcome) => {
                         metrics::MetricsRecorder::bump(&self.metrics.hits);
+                        metrics::MetricsRecorder::bump(&self.metrics.backend(backend).hits);
                         Ok(outcome)
                     }
                     None => {
                         metrics::MetricsRecorder::bump(&self.metrics.misses);
-                        self.compute_and_store(key, request)
+                        self.compute_and_store(key, &keyed, instance.as_ref(), &exec_config)
                     }
                 };
                 guard.disarm(result.clone());
@@ -429,8 +575,10 @@ impl PlanService {
     fn compute_and_store(
         &self,
         key: u64,
-        request: &PlanRequest,
-    ) -> Result<Arc<PlanOutcome>, ServiceError> {
+        keyed: &KeyedRequest,
+        instance: &dyn PlanBackend,
+        exec_config: &PlannerConfig,
+    ) -> Result<Arc<PlannedOutcome>, ServiceError> {
         let permit = self.admission.admit();
         let _permit = match permit {
             Ok(p) => p,
@@ -440,16 +588,11 @@ impl PlanService {
             }
         };
         metrics::MetricsRecorder::bump(&self.metrics.planner_invocations);
-        let mut exec_config = request.config.clone();
-        exec_config.parallelism = self.config.per_plan_parallelism();
-        let planner = Planner::new(request.coeffs.clone(), exec_config)
-            .with_grouping_cache(self.grouping.clone());
-        match planner.plan(&request.snapshot) {
+        metrics::MetricsRecorder::bump(&self.metrics.backend(keyed.backend).planner_invocations);
+        match instance.plan(&keyed.request.snapshot, exec_config) {
             Ok(outcome) => {
                 let outcome = Arc::new(outcome);
-                let evicted = self
-                    .cache
-                    .insert(key, request.clone(), Arc::clone(&outcome));
+                let evicted = self.cache.insert(key, keyed.clone(), Arc::clone(&outcome));
                 for _ in 0..evicted {
                     metrics::MetricsRecorder::bump(&self.metrics.evictions);
                 }
@@ -558,6 +701,50 @@ mod tests {
         let err2 = service.plan(&request).expect_err("still infeasible");
         assert_eq!(err, err2);
         assert_eq!(service.metrics().planner_invocations, 2);
+    }
+
+    #[test]
+    fn malleus_is_preregistered_and_unknown_backends_are_typed_errors() {
+        let service = PlanService::new(ServiceConfig::default());
+        assert_eq!(service.registered_backends(), vec![BackendId::Malleus]);
+        let request = small_request(1.0);
+        let err = service
+            .plan_backend(BackendId::Oobleck, &request)
+            .expect_err("not registered");
+        assert_eq!(
+            err,
+            ServiceError::UnknownBackend {
+                backend: BackendId::Oobleck
+            }
+        );
+        // The rejected request still counts; nothing was planned or cached.
+        let m = service.metrics();
+        assert_eq!(m.requests, 1);
+        assert_eq!(m.planner_invocations, 0);
+        assert_eq!(service.cached_plans(), 0);
+    }
+
+    #[test]
+    fn backend_route_shares_the_cache_line_with_plan() {
+        let service = PlanService::new(ServiceConfig::default());
+        let request = small_request(1.0);
+        let direct = service.plan(&request).expect("plan");
+        let routed = service
+            .plan_backend(BackendId::Malleus, &request)
+            .expect("backend route");
+        // Same cache entry: the inner Malleus outcome is the same allocation.
+        let inner = routed.malleus.as_ref().expect("malleus outcome");
+        assert!(Arc::ptr_eq(&direct, inner));
+        let m = service.metrics();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.planner_invocations, 1);
+        let per = &m.per_backend;
+        assert_eq!(per.len(), 1);
+        assert_eq!(per[0].backend, BackendId::Malleus);
+        assert_eq!(per[0].requests, 2);
+        assert_eq!(per[0].hits, 1);
+        assert_eq!(per[0].planner_invocations, 1);
     }
 
     #[test]

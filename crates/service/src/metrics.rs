@@ -7,6 +7,7 @@
 //! individually, so a snapshot taken while requests are in flight may be off
 //! by the requests that completed mid-read.
 
+use malleus_core::BackendId;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -30,8 +31,19 @@ pub(crate) struct MetricsRecorder {
     pub planner_invocations: AtomicU64,
     pub evictions: AtomicU64,
     pub rejected: AtomicU64,
+    /// Per-backend counter breakout, indexed by [`BackendId::index`].
+    per_backend: Vec<BackendCounters>,
     next_stripe: AtomicU64,
     latencies: Vec<Mutex<LatencyRing>>,
+}
+
+/// Lock-free counters for one registered backend.
+#[derive(Debug, Default)]
+pub(crate) struct BackendCounters {
+    pub requests: AtomicU64,
+    pub hits: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub planner_invocations: AtomicU64,
 }
 
 impl Default for MetricsRecorder {
@@ -44,6 +56,9 @@ impl Default for MetricsRecorder {
             planner_invocations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            per_backend: (0..BackendId::ALL.len())
+                .map(|_| BackendCounters::default())
+                .collect(),
             next_stripe: AtomicU64::new(0),
             latencies: (0..LATENCY_STRIPES)
                 .map(|_| Mutex::new(LatencyRing::default()))
@@ -75,6 +90,11 @@ impl MetricsRecorder {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The counter block for one backend.
+    pub fn backend(&self, id: BackendId) -> &BackendCounters {
+        &self.per_backend[id.index()]
+    }
+
     /// Record the end-to-end service time of one request (seconds).
     pub fn record_service_time(&self, seconds: f64) {
         let stripe = self.next_stripe.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_STRIPES;
@@ -100,8 +120,38 @@ impl MetricsRecorder {
             active_plans,
             p50_service_time: percentile(&samples, 0.50),
             p99_service_time: percentile(&samples, 0.99),
+            per_backend: BackendId::ALL
+                .iter()
+                .filter_map(|&id| {
+                    let counters = &self.per_backend[id.index()];
+                    let requests = counters.requests.load(Ordering::Relaxed);
+                    (requests > 0).then(|| BackendMetrics {
+                        backend: id,
+                        requests,
+                        hits: counters.hits.load(Ordering::Relaxed),
+                        coalesced: counters.coalesced.load(Ordering::Relaxed),
+                        planner_invocations: counters.planner_invocations.load(Ordering::Relaxed),
+                    })
+                })
+                .collect(),
         }
     }
+}
+
+/// Per-backend slice of the service counters (only backends that have seen at
+/// least one request appear in [`ServiceMetrics::per_backend`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendMetrics {
+    /// Which backend these counters describe.
+    pub backend: BackendId,
+    /// Requests routed to this backend.
+    pub requests: u64,
+    /// Requests answered from the plan cache.
+    pub hits: u64,
+    /// Requests coalesced onto an identical in-flight computation.
+    pub coalesced: u64,
+    /// Actual backend `plan` invocations.
+    pub planner_invocations: u64,
 }
 
 /// Nearest-rank percentile over an ascending sample set (0.0 when empty).
@@ -140,6 +190,9 @@ pub struct ServiceMetrics {
     pub p50_service_time: f64,
     /// 99th-percentile end-to-end service time over the window (s).
     pub p99_service_time: f64,
+    /// Counter breakout per registered backend (empty until a backend-routed
+    /// request arrives).
+    pub per_backend: Vec<BackendMetrics>,
 }
 
 impl ServiceMetrics {

@@ -51,22 +51,24 @@ pub use malleus_solver as solver;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use malleus_baselines::{
-        DeepSpeedPlanner, MegatronPlanner, OobleckPlanner, RestartPlanner,
+        baseline_constructors, gap_from_optimum, theoretic_optimal_time, DeepSpeedPlanner,
+        MegatronPlanner, OobleckPlanner, RestartFamily, RestartPlanner,
     };
     pub use malleus_cluster::{
         Cluster, ClusterSnapshot, GpuId, PaperSituation, Situation, StragglerEvent, StragglerLevel,
         Trace, TracePhase,
     };
     pub use malleus_core::{
-        plan_migration, CostModel, Parallelism, ParallelizationPlan, PlanOutcome, Planner,
-        PlannerConfig,
+        plan_migration, BackendId, ClusterEvent, CostModel, Parallelism, ParallelizationPlan,
+        PlanBackend, PlanError, PlanOutcome, PlannedOutcome, Planner, PlannerConfig,
     };
     pub use malleus_model::{HardwareParams, ModelSpec, ProfiledCoefficients};
     pub use malleus_runtime::{
-        replan_overlapped_shared, Executor, Profiler, SessionReport, TrainingSession,
+        replan_overlapped_backend, replan_overlapped_shared, BackendReplan, Executor, Profiler,
+        SessionReport, TrainingSession,
     };
     pub use malleus_service::{
-        PlanRequest, PlanService, ServiceConfig, ServiceError, ServiceMetrics,
+        BackendMetrics, PlanRequest, PlanService, ServiceConfig, ServiceError, ServiceMetrics,
     };
     pub use malleus_sim::{
         migration_time, restart_time, simulate_step, simulate_zero3_step, StepReport,

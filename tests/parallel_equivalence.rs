@@ -123,6 +123,84 @@ fn service_plans_are_byte_identical_to_direct_planner() {
 }
 
 #[test]
+fn malleus_backend_trait_is_byte_identical_to_direct_planner() {
+    // The PlanBackend trait path must be invisible for Malleus: identical
+    // `ParallelizationPlan`, bit-equal estimates, for every golden situation.
+    let spec = ModelSpec::llama2_32b();
+    let planner = common::planner_for(&spec, 64).with_parallelism(candidate_parallelism());
+    let config = planner.config.clone();
+    for situation in SITUATIONS {
+        let snapshot = common::snapshot_for(4, situation);
+        let direct = planner
+            .plan(&snapshot)
+            .unwrap_or_else(|e| panic!("direct under {situation:?}: {e}"));
+        let routed = PlanBackend::plan(&planner, &snapshot, &config)
+            .unwrap_or_else(|e| panic!("trait under {situation:?}: {e}"));
+        assert_eq!(routed.backend, BackendId::Malleus);
+        assert_eq!(
+            routed.plan.as_ref(),
+            Some(&direct.plan),
+            "under {situation:?}: plans diverge"
+        );
+        assert_eq!(
+            routed.estimated_step_time.to_bits(),
+            direct.estimated_step_time.to_bits()
+        );
+        let inner = routed.malleus.as_ref().expect("malleus outcome present");
+        assert_eq!(
+            inner.estimated_step_time_simplified.to_bits(),
+            direct.estimated_step_time_simplified.to_bits()
+        );
+        assert_eq!(inner.chosen_tp, direct.chosen_tp);
+        assert_eq!(inner.dp, direct.dp);
+    }
+}
+
+#[test]
+fn service_backend_route_is_byte_identical_to_direct_planner() {
+    // `plan_backend(Malleus, ...)` is `plan(...)` with a backend-neutral
+    // envelope: the inner outcome must stay byte-identical to the direct
+    // planner, and the legacy route must share the same cache entry.
+    let service = PlanService::new(ServiceConfig::default());
+    let spec = ModelSpec::llama2_32b();
+    for situation in [PaperSituation::S1, PaperSituation::S5] {
+        let snapshot = common::snapshot_for(4, situation);
+        let direct = common::oracle_planned(&spec, 64, 4, situation);
+        let request = PlanRequest::new(
+            common::coeffs_for(&spec).clone(),
+            snapshot,
+            common::planner_for(&spec, 64).config,
+        );
+        let routed = service
+            .plan_backend(BackendId::Malleus, &request)
+            .expect("backend route");
+        let legacy = service.plan(&request).expect("legacy route");
+        let inner = routed.malleus.as_ref().expect("malleus outcome present");
+        assert!(
+            std::sync::Arc::ptr_eq(inner, &legacy),
+            "both routes must serve the same cache entry"
+        );
+        assert_eq!(direct.plan, legacy.plan, "under {situation:?}");
+        assert_eq!(
+            direct.estimated_step_time.to_bits(),
+            legacy.estimated_step_time.to_bits()
+        );
+        assert_eq!(
+            direct.estimated_step_time_simplified.to_bits(),
+            legacy.estimated_step_time_simplified.to_bits()
+        );
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.planner_invocations, 2);
+    assert_eq!(metrics.hits, 2);
+    let per: Vec<_> = metrics.per_backend.iter().collect();
+    assert_eq!(per.len(), 1, "only the Malleus backend saw traffic");
+    assert_eq!(per[0].backend, BackendId::Malleus);
+    assert_eq!(per[0].requests, 4);
+    assert_eq!(per[0].planner_invocations, 2);
+}
+
+#[test]
 fn equivalence_holds_under_failures_and_forced_dp() {
     // Replanning fixes the DP degree; the parallel path must agree with the
     // oracle on the constrained lattice too, including when GPUs fail.
