@@ -83,6 +83,23 @@ impl ClusterSnapshot {
         h
     }
 
+    /// Whether another snapshot shares this one's structure: same node
+    /// topology and the same availability pattern (a rate flipping between
+    /// finite and infinite is a node/GPU loss or join, not a drift).
+    /// Drift-only diffs — `same_structure` true — are the events the
+    /// incremental replanner may warm-start; structural diffs route to full
+    /// enumeration.
+    pub fn same_structure(&self, other: &ClusterSnapshot) -> bool {
+        self.num_nodes == other.num_nodes
+            && self.node_of == other.node_of
+            && self.rates.len() == other.rates.len()
+            && self
+                .rates
+                .iter()
+                .zip(other.rates.iter())
+                .all(|(a, b)| a.is_finite() == b.is_finite())
+    }
+
     /// Largest relative change of any GPU's rate w.r.t. another snapshot.
     /// The paper triggers re-planning when this exceeds 5%.
     pub fn max_relative_shift(&self, other: &ClusterSnapshot) -> f64 {
@@ -145,6 +162,22 @@ mod tests {
         // Failures (infinite rates) are representable and distinguishable.
         c.set_rate(GpuId(3), f64::INFINITY);
         assert_ne!(b.fingerprint(), c.snapshot().fingerprint());
+    }
+
+    #[test]
+    fn same_structure_distinguishes_drift_from_availability_changes() {
+        let c = Cluster::homogeneous(2, 4);
+        let a = c.snapshot();
+        // Drift — even a large one — is not structural.
+        assert!(a.same_structure(&a.with_rate(GpuId(3), 12.53)));
+        // A failure (finite → infinite) is structural, and so is the
+        // subsequent join (infinite → finite), at any rate.
+        let failed = a.with_rate(GpuId(3), f64::INFINITY);
+        assert!(!a.same_structure(&failed));
+        assert!(!failed.same_structure(&failed.with_rate(GpuId(3), 2.57)));
+        // Two snapshots with the same failure pattern but different drifts
+        // share structure.
+        assert!(failed.same_structure(&failed.with_rate(GpuId(0), 3.75)));
     }
 
     #[test]

@@ -123,8 +123,13 @@ pub enum ClusterEvent {
 
 impl ClusterEvent {
     /// Classify a new snapshot relative to the previous outcome.  Failure of
-    /// an active participant dominates; otherwise a previously benched GPU
-    /// back under `threshold` reads as a recovery; everything else is drift.
+    /// an active participant dominates; then, when the previous outcome
+    /// carries its scored lattice (and with it the snapshot it was planned
+    /// against), the snapshot *diff* catches structural changes the
+    /// outcome-level heuristics cannot — a standby GPU dying, or a
+    /// previously-failed GPU rejoining while still straggling above
+    /// `threshold`.  Otherwise a previously benched GPU back under
+    /// `threshold` reads as a recovery; everything else is drift.
     pub fn classify(
         previous: &PlannedOutcome,
         snapshot: &ClusterSnapshot,
@@ -136,6 +141,17 @@ impl ClusterEvent {
             .any(|&gpu| gpu.index() < snapshot.num_gpus() && !snapshot.rate(gpu).is_finite());
         if failed {
             return ClusterEvent::Failure;
+        }
+        if let Some(basis) = previous
+            .malleus
+            .as_ref()
+            .and_then(|m| m.lattice.as_ref())
+            .map(|lattice| &lattice.snapshot)
+        {
+            match Self::classify_snapshots(basis, snapshot) {
+                ClusterEvent::StragglerDrift => {}
+                structural => return structural,
+            }
         }
         let active: std::collections::HashSet<GpuId> =
             previous.active_gpus.iter().copied().collect();
@@ -150,6 +166,44 @@ impl ClusterEvent {
         } else {
             ClusterEvent::StragglerDrift
         }
+    }
+
+    /// Classify purely from a snapshot diff: node loss (any finite → infinite
+    /// rate, or a shrunk cluster) dominates a simultaneous drift or join;
+    /// then a node join (any infinite → finite rate, at *any* rate — a
+    /// rejoining GPU may still straggle); everything else is drift.
+    pub fn classify_snapshots(
+        previous: &ClusterSnapshot,
+        current: &ClusterSnapshot,
+    ) -> ClusterEvent {
+        if previous.num_gpus() != current.num_gpus() || previous.num_nodes != current.num_nodes {
+            return if current.num_gpus() < previous.num_gpus() {
+                ClusterEvent::Failure
+            } else {
+                ClusterEvent::Recovery
+            };
+        }
+        let rates = previous.rates.iter().zip(current.rates.iter());
+        if rates
+            .clone()
+            .any(|(prev, cur)| prev.is_finite() && !cur.is_finite())
+        {
+            return ClusterEvent::Failure;
+        }
+        if rates
+            .clone()
+            .any(|(prev, cur)| !prev.is_finite() && cur.is_finite())
+        {
+            return ClusterEvent::Recovery;
+        }
+        ClusterEvent::StragglerDrift
+    }
+
+    /// Whether the event changes cluster structure (availability or
+    /// topology).  Structural events route to full enumeration; drift may
+    /// warm-start the delta replanner.
+    pub fn is_structural(&self) -> bool {
+        !matches!(self, ClusterEvent::StragglerDrift)
     }
 }
 
@@ -335,13 +389,19 @@ impl PlanBackend for Planner {
         &self,
         snapshot: &ClusterSnapshot,
         previous: &PlannedOutcome,
-        _event: ClusterEvent,
+        event: ClusterEvent,
     ) -> Result<PlannedOutcome, PlanError> {
         // Malleus adapts online whatever the event is; migration cost is
         // priced separately by the runtime/arena via `plan_migration`.
-        let outcome = match &previous.plan {
-            Some(plan) => Planner::replan(self, snapshot, plan)?,
-            None => Planner::plan(self, snapshot)?,
+        // Drift-only events warm-start from the previous outcome's scored
+        // lattice (`replan_delta` re-checks the snapshot diff itself and
+        // falls back to full enumeration if it is structural after all);
+        // structural events go straight to full enumeration.
+        let outcome = match (&previous.malleus, &previous.plan) {
+            (Some(prev), _) if !event.is_structural() => self.replan_delta(snapshot, prev)?,
+            (_, Some(plan)) => Planner::replan(self, snapshot, plan)?,
+            (Some(prev), None) => Planner::replan(self, snapshot, &prev.plan)?,
+            (None, None) => Planner::plan(self, snapshot)?,
         };
         Ok(PlannedOutcome::from_malleus(outcome))
     }
@@ -458,6 +518,99 @@ mod tests {
         assert_eq!(
             ClusterEvent::classify(&initial, &drifting.snapshot(), DEFAULT_STRAGGLER_THRESHOLD),
             ClusterEvent::StragglerDrift
+        );
+    }
+
+    #[test]
+    fn simultaneous_drift_and_node_loss_classifies_as_failure() {
+        let planner = planner();
+        let healthy = Cluster::homogeneous(2, 8).snapshot();
+        let initial = PlanBackend::plan(&planner, &healthy, &planner.config.clone()).unwrap();
+        // GPU 2 drifts while GPU 5 dies in the same observation window: the
+        // loss dominates and the event must route to full enumeration.
+        let mut c = Cluster::homogeneous(2, 8);
+        c.set_rate(GpuId(2), StragglerLevel::Level2.rate());
+        c.set_rate(GpuId(5), StragglerLevel::Failed.rate());
+        let event = ClusterEvent::classify(&initial, &c.snapshot(), DEFAULT_STRAGGLER_THRESHOLD);
+        assert_eq!(event, ClusterEvent::Failure);
+        assert!(event.is_structural());
+        assert_eq!(
+            ClusterEvent::classify_snapshots(&healthy, &c.snapshot()),
+            ClusterEvent::Failure
+        );
+        // The replan routed through the trait stays byte-identical to the
+        // direct full replan.
+        let via = PlanBackend::replan(&planner, &c.snapshot(), &initial, event).unwrap();
+        let direct = Planner::replan(
+            &planner,
+            &c.snapshot(),
+            initial.plan.as_ref().expect("plan"),
+        )
+        .unwrap();
+        assert_eq!(via.malleus.as_ref().unwrap().plan, direct.plan);
+        assert_eq!(
+            via.estimated_step_time.to_bits(),
+            direct.estimated_step_time.to_bits()
+        );
+    }
+
+    #[test]
+    fn rejoin_of_failed_gpu_above_threshold_classifies_as_recovery() {
+        let planner = planner();
+        // Plan with GPU 5 failed: the outcome's lattice basis records the
+        // infinite rate.
+        let mut f = Cluster::homogeneous(2, 8);
+        f.set_rate(GpuId(5), StragglerLevel::Failed.rate());
+        let previous = PlanBackend::plan(&planner, &f.snapshot(), &planner.config.clone()).unwrap();
+        // GPU 5 rejoins but still straggles well above the 1.05 threshold:
+        // the outcome-level heuristic alone would call this drift, but the
+        // snapshot diff sees the infinite → finite flip.
+        let mut rejoined = Cluster::homogeneous(2, 8);
+        rejoined.set_rate(GpuId(5), StragglerLevel::Level1.rate());
+        let event =
+            ClusterEvent::classify(&previous, &rejoined.snapshot(), DEFAULT_STRAGGLER_THRESHOLD);
+        assert_eq!(event, ClusterEvent::Recovery);
+        assert_eq!(
+            ClusterEvent::classify_snapshots(&f.snapshot(), &rejoined.snapshot()),
+            ClusterEvent::Recovery
+        );
+        // Structural: the replan must re-enumerate, and the rejoined GPU is
+        // available to the new plan.
+        let via = PlanBackend::replan(&planner, &rejoined.snapshot(), &previous, event).unwrap();
+        let lattice = via.malleus.as_ref().unwrap().lattice.as_ref().unwrap();
+        assert!(!lattice.delta, "join must not consult the memo");
+    }
+
+    #[test]
+    fn drift_exactly_at_threshold_stays_drift_and_routes_to_delta() {
+        let planner = planner();
+        let healthy = Cluster::homogeneous(2, 8).snapshot();
+        let initial = PlanBackend::plan(&planner, &healthy, &planner.config.clone()).unwrap();
+        // A GPU sitting exactly at the straggler threshold is a drift, not a
+        // structural event: same topology, same availability.
+        let drifted = healthy.with_rate(GpuId(2), DEFAULT_STRAGGLER_THRESHOLD);
+        let event = ClusterEvent::classify(&initial, &drifted, DEFAULT_STRAGGLER_THRESHOLD);
+        assert_eq!(event, ClusterEvent::StragglerDrift);
+        assert!(!event.is_structural());
+        assert_eq!(
+            ClusterEvent::classify_snapshots(&healthy, &drifted),
+            ClusterEvent::StragglerDrift
+        );
+        // The delta path engages and stays byte-identical to the direct
+        // full-enumeration replan.
+        let via = PlanBackend::replan(&planner, &drifted, &initial, event).unwrap();
+        let inner = via.malleus.as_ref().unwrap();
+        assert!(inner.lattice.as_ref().unwrap().delta, "memo consulted");
+        let direct =
+            Planner::replan(&planner, &drifted, initial.plan.as_ref().expect("plan")).unwrap();
+        assert_eq!(inner.plan, direct.plan);
+        assert_eq!(
+            inner.estimated_step_time.to_bits(),
+            direct.estimated_step_time.to_bits()
+        );
+        assert_eq!(
+            inner.estimated_step_time_simplified.to_bits(),
+            direct.estimated_step_time_simplified.to_bits()
         );
     }
 

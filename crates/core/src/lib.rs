@@ -23,11 +23,16 @@
 //! deterministic lattice-index reduction, so planning scales with cores while
 //! staying bit-identical to the serial reference path.
 //! [`migration`] computes the slice-level model-state movements needed to adopt
-//! a new plan on the fly (§5.1).
+//! a new plan on the fly (§5.1).  [`delta`] adds warm-start (incremental)
+//! replanning: the scored candidate lattice is persisted alongside each
+//! outcome, and drift-only cluster events reuse memoized candidate
+//! evaluations — confirmed bitwise, so delta replans stay byte-identical to
+//! full enumeration.
 
 pub mod assignment;
 pub mod backend;
 pub mod cost;
+pub mod delta;
 pub mod error;
 pub mod grouping;
 pub mod migration;
@@ -41,6 +46,9 @@ pub use backend::{
     PlanBackend, PlannedOutcome, DEFAULT_STRAGGLER_THRESHOLD,
 };
 pub use cost::CostModel;
+pub use delta::{
+    incremental_from_env_or, CandidateMemo, LatticeEntry, ScoredLattice, INCREMENTAL_ENV,
+};
 pub use error::PlanError;
 pub use grouping::{group_cluster, GroupingResult};
 pub use migration::{plan_migration, MigrationPlan, SliceMove};

@@ -16,6 +16,7 @@
 
 use crate::assignment::assign_data;
 use crate::cost::CostModel;
+use crate::delta::{CandidateInputs, CandidateMemo, LatticeEntry, ScoredLattice};
 use crate::error::PlanError;
 use crate::grouping::GroupingResult;
 use crate::orchestration::{divide_groups, order_and_assign_layers};
@@ -59,6 +60,16 @@ pub struct PlannerConfig {
     /// core, `Fixed(1)` = the serial reference path).  The chosen plan is
     /// independent of this knob — see [`crate::parallel`].
     pub parallelism: Parallelism,
+    /// Enable warm-start delta replanning (see [`crate::delta`]): planning
+    /// invocations persist their scored candidate lattice in
+    /// [`PlanOutcome::lattice`] and memoize candidate evaluations, and
+    /// [`Planner::replan_delta`] reuses memoized evaluations on drift-only
+    /// events.  Like `parallelism` this is *execution policy*: memo hits are
+    /// confirmed bitwise against the full candidate inputs, so the chosen
+    /// plan is independent of this knob.  [`Planner::plan`] and
+    /// [`Planner::replan`] never *read* the memo regardless — full
+    /// enumeration stays the equivalence oracle.
+    pub incremental: bool,
 }
 
 impl Default for PlannerConfig {
@@ -75,6 +86,7 @@ impl Default for PlannerConfig {
             nonuniform_data: true,
             nonuniform_stages: true,
             parallelism: Parallelism::Auto,
+            incremental: true,
         }
     }
 }
@@ -121,7 +133,7 @@ impl PlanTiming {
 }
 
 /// The result of a planning invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlanOutcome {
     /// The selected parallelization plan.
     pub plan: ParallelizationPlan,
@@ -136,6 +148,24 @@ pub struct PlanOutcome {
     pub dp: usize,
     /// Per-phase planning time.
     pub timing: PlanTiming,
+    /// The scored candidate lattice this outcome was selected from, persisted
+    /// for warm-start delta replanning (populated when
+    /// [`PlannerConfig::incremental`] is on).
+    pub lattice: Option<Arc<ScoredLattice>>,
+}
+
+impl PartialEq for PlanOutcome {
+    /// Equality over the planning *result*; the attached lattice is advisory
+    /// warm-start state (its reuse statistics depend on memo history, not on
+    /// what was planned) and is excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.plan == other.plan
+            && self.estimated_step_time == other.estimated_step_time
+            && self.estimated_step_time_simplified == other.estimated_step_time_simplified
+            && self.chosen_tp == other.chosen_tp
+            && self.dp == other.dp
+            && self.timing == other.timing
+    }
 }
 
 /// One point of the candidate lattice: a (grouping, DP, micro-batch,
@@ -145,6 +175,9 @@ struct Candidate {
     /// Grouping result for this candidate's maximum TP degree (shared
     /// read-only across all candidates of the same degree).
     grouping: Arc<GroupingResult>,
+    /// Index of `max_tp` in the configured TP-degree list (used to share the
+    /// per-grouping rate-bit vectors across candidates of one degree).
+    tp_idx: usize,
     /// The maximum TP degree the grouping was produced for.
     max_tp: u32,
     /// Data-parallel degree.
@@ -173,6 +206,10 @@ pub struct Planner {
     /// Memoized grouping results, shared read-only across candidate workers
     /// and across re-planning rounds on unchanged snapshots.
     grouping_memo: GroupingCache,
+    /// Memoized candidate evaluations for warm-start delta replanning (see
+    /// [`crate::delta`]); populated when [`PlannerConfig::incremental`] is
+    /// on, consulted only by [`Planner::replan_delta`].
+    candidate_memo: CandidateMemo,
 }
 
 impl Planner {
@@ -182,6 +219,7 @@ impl Planner {
             cost: CostModel::new(coeffs),
             config,
             grouping_memo: GroupingCache::default(),
+            candidate_memo: CandidateMemo::default(),
         }
     }
 
@@ -208,6 +246,21 @@ impl Planner {
         &self.grouping_memo
     }
 
+    /// Builder-style injection of a shared candidate-evaluation memo (same
+    /// sharing discipline as [`Planner::with_grouping_cache`]: cloning a
+    /// [`CandidateMemo`] shares its storage, and hits are confirmed against
+    /// the full candidate inputs, so sharing degrades to recomputation, never
+    /// wrong results).
+    pub fn with_candidate_memo(mut self, memo: CandidateMemo) -> Self {
+        self.candidate_memo = memo;
+        self
+    }
+
+    /// The shared candidate-evaluation memo (diagnostics / tests).
+    pub fn candidate_memo(&self) -> &CandidateMemo {
+        &self.candidate_memo
+    }
+
     /// Deduce the best parallelization plan for the observed straggler
     /// situation.
     pub fn plan(&self, snapshot: &ClusterSnapshot) -> Result<PlanOutcome, PlanError> {
@@ -228,6 +281,37 @@ impl Planner {
         match self.plan_with_dp(snapshot, Some(previous.dp())) {
             Ok(outcome) => Ok(outcome),
             Err(_) => self.plan_with_dp(snapshot, self.config.fixed_dp),
+        }
+    }
+
+    /// Warm-start (delta) re-planning: when the diff between `snapshot` and
+    /// the previous outcome's planning basis is drift-only — same topology,
+    /// same availability pattern — candidate evaluations whose cost inputs
+    /// are unchanged are served from the candidate memo instead of being
+    /// recomputed, and only candidates whose cost terms touch the changed
+    /// devices are re-evaluated.  Falls back to full enumeration when the
+    /// diff is structural (node loss / node join), when the previous outcome
+    /// carries no lattice, or when [`PlannerConfig::incremental`] is off.
+    ///
+    /// Memo hits are confirmed bitwise against the full candidate inputs, so
+    /// the result is byte-identical to [`Planner::replan`] on the same
+    /// snapshot regardless of which path is taken.
+    pub fn replan_delta(
+        &self,
+        snapshot: &ClusterSnapshot,
+        previous: &PlanOutcome,
+    ) -> Result<PlanOutcome, PlanError> {
+        let drift_only = self.config.incremental
+            && previous
+                .lattice
+                .as_ref()
+                .is_some_and(|lattice| !lattice.structural_change(snapshot));
+        if !drift_only {
+            return self.replan(snapshot, &previous.plan);
+        }
+        match self.plan_with_dp_memo(snapshot, Some(previous.plan.dp()), true) {
+            Ok(outcome) => Ok(outcome),
+            Err(_) => self.plan_with_dp_memo(snapshot, self.config.fixed_dp, true),
         }
     }
 
@@ -315,6 +399,7 @@ impl Planner {
                     for &nonuniform_division in division_modes {
                         candidates.push(Candidate {
                             grouping: Arc::clone(grouping),
+                            tp_idx,
                             max_tp,
                             dp,
                             micro_batch: b,
@@ -455,6 +540,7 @@ impl Planner {
                 chosen_tp: max_tp,
                 dp,
                 timing: PlanTiming::default(),
+                lattice: None,
             }),
             failure: None,
             timing,
@@ -465,6 +551,37 @@ impl Planner {
         &self,
         snapshot: &ClusterSnapshot,
         forced_dp: Option<usize>,
+    ) -> Result<PlanOutcome, PlanError> {
+        self.plan_with_dp_memo(snapshot, forced_dp, false)
+    }
+
+    /// The candidate inputs of one lattice point (the exact value set that
+    /// determines its evaluation — see [`crate::delta`]).
+    fn candidate_inputs<'a>(
+        &'a self,
+        snapshot: &ClusterSnapshot,
+        cand: &'a Candidate,
+        rate_bits: &'a [Arc<Vec<u64>>],
+    ) -> CandidateInputs<'a> {
+        CandidateInputs {
+            coeffs: &self.cost.coeffs,
+            global_batch_size: self.config.global_batch_size,
+            nonuniform_layers: self.config.nonuniform_layers,
+            nonuniform_data: self.config.nonuniform_data,
+            num_gpus: snapshot.num_gpus(),
+            grouping: &cand.grouping,
+            group_rate_bits: &rate_bits[cand.tp_idx],
+            dp: cand.dp,
+            micro_batch: cand.micro_batch,
+            nonuniform_division: cand.nonuniform_division,
+        }
+    }
+
+    fn plan_with_dp_memo(
+        &self,
+        snapshot: &ClusterSnapshot,
+        forced_dp: Option<usize>,
+        consult_memo: bool,
     ) -> Result<PlanOutcome, PlanError> {
         let usable = snapshot.rates.iter().filter(|r| r.is_finite()).count();
         if usable == 0 {
@@ -511,10 +628,62 @@ impl Planner {
         // Phase 2 — enumerate the lattice in the serial reference order.
         let candidates = self.enumerate_candidates(&groupings, forced_dp, usable, &b_candidates);
 
+        // Per-grouping straggling-rate bit patterns: together with the group
+        // membership these are the only way the snapshot enters a candidate
+        // evaluation, so they anchor the memo's input fingerprints.  Shared
+        // across all candidates of one TP degree.
+        let memoize = self.config.incremental;
+        let consult = consult_memo && memoize;
+        let rate_bits: Vec<Arc<Vec<u64>>> = if memoize {
+            groupings
+                .iter()
+                .map(|g| {
+                    Arc::new(
+                        g.groups
+                            .iter()
+                            .map(|group| group.max_rate(snapshot).to_bits())
+                            .collect::<Vec<u64>>(),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         // Phase 3 — evaluate candidates across workers; `fan_out` returns the
         // results indexed by lattice position, never by completion order.
-        let evals = fan_out(candidates.len(), workers, |i| {
-            self.evaluate_candidate(snapshot, &candidates[i])
+        // With the memo consulted, a candidate whose confirmed inputs are
+        // unchanged since a previous invocation is served from the memo —
+        // bitwise what a fresh evaluation would produce — and every fresh
+        // evaluation is memoized for the next event.
+        let evals: Vec<(CandidateEval, bool)> = fan_out(candidates.len(), workers, |i| {
+            let cand = &candidates[i];
+            if !memoize {
+                return (self.evaluate_candidate(snapshot, cand), false);
+            }
+            let inputs = self.candidate_inputs(snapshot, cand, &rate_bits);
+            let key = inputs.fingerprint();
+            if consult {
+                if let Some(hit) = self.candidate_memo.lookup(key, &inputs) {
+                    return (
+                        CandidateEval {
+                            outcome: hit.outcome.clone(),
+                            failure: hit.failure.clone(),
+                            timing: PlanTiming::default(),
+                        },
+                        true,
+                    );
+                }
+            }
+            let eval = self.evaluate_candidate(snapshot, cand);
+            self.candidate_memo.insert(
+                key,
+                &inputs,
+                Arc::clone(&cand.grouping),
+                eval.outcome.clone(),
+                eval.failure.clone(),
+            );
+            (eval, false)
         });
 
         // Phase 4 — deterministic reduction: fold in lattice order with the
@@ -523,10 +692,23 @@ impl Planner {
         // winner is independent of thread scheduling.
         let mut best: Option<PlanOutcome> = None;
         let mut last_failure = String::from("no candidate configuration was feasible");
-        for eval in evals {
+        let mut entries = Vec::with_capacity(candidates.len());
+        let mut reused_count = 0usize;
+        for (cand, (eval, reused)) in candidates.iter().zip(evals) {
             timing.division += eval.timing.division;
             timing.ordering += eval.timing.ordering;
             timing.assignment += eval.timing.assignment;
+            reused_count += reused as usize;
+            if memoize {
+                entries.push(LatticeEntry {
+                    max_tp: cand.max_tp,
+                    dp: cand.dp,
+                    micro_batch: cand.micro_batch,
+                    nonuniform_division: cand.nonuniform_division,
+                    estimated_step_time: eval.outcome.as_ref().map(|o| o.estimated_step_time),
+                    reused,
+                });
+            }
             if let Some(reason) = eval.failure {
                 last_failure = reason;
             }
@@ -544,6 +726,17 @@ impl Planner {
         match best {
             Some(mut outcome) => {
                 outcome.timing = timing;
+                if memoize {
+                    let evaluated = entries.len() - reused_count;
+                    outcome.lattice = Some(Arc::new(ScoredLattice {
+                        snapshot: snapshot.clone(),
+                        forced_dp,
+                        entries,
+                        reused: reused_count,
+                        evaluated,
+                        delta: consult,
+                    }));
+                }
                 Ok(outcome)
             }
             None => Err(PlanError::NoFeasiblePlan {
@@ -766,6 +959,123 @@ mod tests {
             outcome.plan.active_gpus().len() + outcome.plan.removed_gpus.len(),
             32
         );
+    }
+
+    fn assert_bitwise_equal(a: &PlanOutcome, b: &PlanOutcome) {
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.chosen_tp, b.chosen_tp);
+        assert_eq!(a.dp, b.dp);
+        assert_eq!(
+            a.estimated_step_time.to_bits(),
+            b.estimated_step_time.to_bits()
+        );
+        assert_eq!(
+            a.estimated_step_time_simplified.to_bits(),
+            b.estimated_step_time_simplified.to_bits()
+        );
+    }
+
+    #[test]
+    fn delta_replan_is_byte_identical_to_full_enumeration() {
+        let cluster = Cluster::homogeneous(4, 8);
+        let delta = planner(ModelSpec::llama2_32b(), 64);
+        let initial = delta.plan(&cluster.snapshot()).expect("initial plan");
+        let lattice = initial.lattice.as_ref().expect("lattice persisted");
+        assert!(!lattice.delta, "initial plan is full enumeration");
+        assert!(delta.candidate_memo().len() > 0, "memo populated");
+
+        // Novel drift: byte-identical to a fresh full-enumeration replan.
+        let drifted = cluster.snapshot().with_rate(GpuId(3), 2.57);
+        let warm = delta
+            .replan_delta(&drifted, &initial)
+            .expect("delta replan");
+        let oracle = planner(ModelSpec::llama2_32b(), 64)
+            .with_parallelism(Parallelism::Fixed(1))
+            .replan(&drifted, &initial.plan)
+            .expect("oracle replan");
+        assert_bitwise_equal(&warm, &oracle);
+        assert!(warm.lattice.as_ref().unwrap().delta, "memo was consulted");
+
+        // Recurrent state: the straggler recovers to the exact rates the
+        // memo has already seen — every candidate is served from the memo.
+        let recurred = delta
+            .replan_delta(&cluster.snapshot(), &warm)
+            .expect("recurrent replan");
+        let recurred_lattice = recurred.lattice.as_ref().unwrap();
+        assert_eq!(recurred_lattice.evaluated, 0, "full candidate reuse");
+        assert_eq!(recurred_lattice.reused, recurred_lattice.entries.len());
+        let oracle2 = planner(ModelSpec::llama2_32b(), 64)
+            .with_parallelism(Parallelism::Fixed(1))
+            .replan(&cluster.snapshot(), &warm.plan)
+            .expect("oracle replan");
+        assert_bitwise_equal(&recurred, &oracle2);
+    }
+
+    #[test]
+    fn structural_events_fall_back_to_full_enumeration() {
+        let cluster = Cluster::homogeneous(4, 8);
+        let p = planner(ModelSpec::llama2_32b(), 64);
+        let initial = p.plan(&cluster.snapshot()).expect("initial plan");
+        // Node loss: finite → infinite is a structural diff.
+        let failed = cluster.snapshot().with_rate(GpuId(5), f64::INFINITY);
+        let after_loss = p.replan_delta(&failed, &initial).expect("replan");
+        assert!(
+            !after_loss.lattice.as_ref().unwrap().delta,
+            "node loss must not consult the memo"
+        );
+        let oracle = planner(ModelSpec::llama2_32b(), 64)
+            .with_parallelism(Parallelism::Fixed(1))
+            .replan(&failed, &initial.plan)
+            .expect("oracle replan");
+        assert_bitwise_equal(&after_loss, &oracle);
+        // Node join (the GPU comes back, still straggling): structural again.
+        let rejoined = failed.with_rate(GpuId(5), 3.75);
+        let after_join = p.replan_delta(&rejoined, &after_loss).expect("replan");
+        assert!(!after_join.lattice.as_ref().unwrap().delta);
+    }
+
+    #[test]
+    fn incremental_off_disables_lattice_and_memo() {
+        let cluster = Cluster::homogeneous(2, 8);
+        let coeffs =
+            ProfiledCoefficients::derive(ModelSpec::llama2_13b(), HardwareParams::a800_cluster());
+        let p = Planner::new(
+            coeffs,
+            PlannerConfig {
+                global_batch_size: 64,
+                incremental: false,
+                ..PlannerConfig::default()
+            },
+        );
+        let outcome = p.plan(&cluster.snapshot()).expect("plan");
+        assert!(outcome.lattice.is_none());
+        assert!(p.candidate_memo().is_empty());
+        // replan_delta degrades to plain (full) replanning.
+        let drifted = cluster.snapshot().with_rate(GpuId(1), 2.57);
+        let a = p.replan_delta(&drifted, &outcome).expect("delta");
+        let b = p.replan(&drifted, &outcome.plan).expect("full");
+        assert_bitwise_equal(&a, &b);
+    }
+
+    #[test]
+    fn candidate_memo_is_shared_across_planner_clones() {
+        let cluster = Cluster::homogeneous(2, 8);
+        let p = planner(ModelSpec::llama2_13b(), 64);
+        p.plan(&cluster.snapshot()).expect("plan");
+        let populated = p.candidate_memo().len();
+        assert!(populated > 0);
+        // A planner built with the shared memo sees the same entries.
+        let coeffs =
+            ProfiledCoefficients::derive(ModelSpec::llama2_13b(), HardwareParams::a800_cluster());
+        let sharer = Planner::new(
+            coeffs,
+            PlannerConfig {
+                global_batch_size: 64,
+                ..PlannerConfig::default()
+            },
+        )
+        .with_candidate_memo(p.candidate_memo().clone());
+        assert_eq!(sharer.candidate_memo().len(), populated);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod session;
 pub use executor::Executor;
 pub use profiler::{Profiler, ProfilerObservation};
 pub use replanner::{
-    replan_overlapped, replan_overlapped_backend, replan_overlapped_shared, BackendReplan,
-    ReplanOutcome,
+    replan_overlapped, replan_overlapped_backend, replan_overlapped_incremental,
+    replan_overlapped_shared, BackendReplan, ReplanOutcome,
 };
 pub use session::{PhaseReport, RuntimeError, SessionReport, TrainingSession};

@@ -79,6 +79,33 @@ pub fn replan_overlapped(
     })
 }
 
+/// Warm-start (delta) overlapped re-planning: like [`replan_overlapped`], but
+/// threads the previous [`PlanOutcome`] — including its persisted scored
+/// lattice — into [`Planner::replan_delta`], so drift-only events reuse
+/// memoized candidate evaluations instead of re-enumerating the whole
+/// lattice.  Structural events (node loss / node join) and planners with
+/// [`malleus_core::PlannerConfig::incremental`] off fall back to full
+/// enumeration inside `replan_delta`; either way the adapted plan is
+/// byte-identical to what [`replan_overlapped`] would produce.
+pub fn replan_overlapped_incremental(
+    planner: &Planner,
+    snapshot: &ClusterSnapshot,
+    previous: &PlanOutcome,
+    current_step_time: f64,
+) -> Result<ReplanOutcome, PlanError> {
+    let t0 = std::time::Instant::now();
+    let outcome = planner.replan_delta(snapshot, previous)?;
+    let planning_time = t0.elapsed().as_secs_f64();
+    let stall_time = (planning_time - current_step_time).max(0.0);
+    let plan_changed = outcome.plan != previous.plan;
+    Ok(ReplanOutcome {
+        outcome,
+        planning_time,
+        stall_time,
+        plan_changed,
+    })
+}
+
 /// Overlapped re-planning through an arbitrary [`PlanBackend`] handle.
 ///
 /// The cluster event is classified from the previous outcome's active GPU set
@@ -309,6 +336,29 @@ mod tests {
         .unwrap();
         assert_eq!(shared.outcome.plan.as_ref(), Some(&direct.plan));
         assert_eq!(shared.outcome.plan.as_ref().unwrap().dp(), direct.dp);
+    }
+
+    #[test]
+    fn incremental_replanning_is_byte_identical_to_full_replanning() {
+        let p = planner();
+        let mut cluster = Cluster::homogeneous(4, 8);
+        let initial = p.plan(&cluster.snapshot()).unwrap();
+        cluster.set_rate(GpuId(0), 5.42);
+        let snapshot = cluster.snapshot();
+        // Fresh planner for the full path: its memo never saw the event.
+        let full = replan_overlapped(&planner(), &snapshot, &initial.plan, 12.0).unwrap();
+        let delta = replan_overlapped_incremental(&p, &snapshot, &initial, 12.0).unwrap();
+        assert!(
+            delta.outcome.lattice.as_ref().unwrap().delta,
+            "drift-only event must consult the memo"
+        );
+        assert_eq!(delta.outcome.plan, full.outcome.plan);
+        assert_eq!(delta.outcome.dp, full.outcome.dp);
+        assert_eq!(
+            delta.outcome.estimated_step_time.to_bits(),
+            full.outcome.estimated_step_time.to_bits()
+        );
+        assert_eq!(delta.plan_changed, full.plan_changed);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use crate::executor::Executor;
 use crate::profiler::Profiler;
 use crate::replanner::{
-    replan_overlapped, replan_overlapped_backend, replan_overlapped_shared, ReplanOutcome,
+    replan_overlapped, replan_overlapped_backend, replan_overlapped_incremental,
+    replan_overlapped_shared, ReplanOutcome,
 };
 use malleus_cluster::{Cluster, ClusterSnapshot, Trace};
 use malleus_core::{
@@ -278,6 +279,10 @@ impl TrainingSession {
         })?;
         self.executor.instantiate(first_plan);
         let mut current = initial.clone();
+        // Direct-path sessions thread the previous outcome (with its scored
+        // candidate lattice) into every re-plan, so drift-only events take the
+        // warm-start delta path instead of full enumeration.
+        let mut last_outcome: Option<PlanOutcome> = current.malleus.as_deref().cloned();
 
         for (index, phase) in trace.phases.iter().enumerate() {
             self.cluster.apply_situation(&phase.situation.rates);
@@ -349,11 +354,20 @@ impl TrainingSession {
                         current = replan.outcome;
                     }
                     None => {
-                        let replan = self.replan(&snapshot, &previous, step)?;
+                        let replan = match (&self.service, &last_outcome) {
+                            // Direct path with a remembered outcome: delta
+                            // replanning (byte-identical to full enumeration,
+                            // falls back on structural cluster changes).
+                            (None, Some(prev)) => {
+                                replan_overlapped_incremental(&self.planner, &snapshot, prev, step)?
+                            }
+                            _ => self.replan(&snapshot, &previous, step)?,
+                        };
                         replanned = true;
                         planning_time = replan.planning_time;
                         stall_time = replan.stall_time;
                         estimated = replan.outcome.estimated_step_time;
+                        last_outcome = Some(replan.outcome.clone());
                         if replan.plan_changed {
                             let cost = self.executor.migrate_to(replan.outcome.plan, &snapshot);
                             migration_time = cost.time;

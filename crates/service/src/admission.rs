@@ -15,6 +15,13 @@ use std::sync::{Condvar, Mutex};
 struct GateState {
     active: usize,
     waiting: usize,
+    /// Next ticket number handed to a queued waiter.
+    next_ticket: u64,
+    /// Ticket currently at the head of the queue.  Freed slots go to the
+    /// head ticket before any later arrival: a new request that finds
+    /// `active < max_active` but `waiting > 0` must still queue, otherwise a
+    /// continuous arrival stream barges past the queue and starves it.
+    serving: u64,
 }
 
 /// Counting semaphore with a bounded wait queue.
@@ -37,7 +44,10 @@ impl Drop for Permit<'_> {
         let mut state = self.gate.state.lock().unwrap();
         state.active -= 1;
         drop(state);
-        self.gate.freed.notify_one();
+        // Wake every waiter: only the head ticket can proceed, and a targeted
+        // notify_one could land on a non-head waiter that just re-sleeps,
+        // stranding the head.
+        self.gate.freed.notify_all();
     }
 }
 
@@ -51,22 +61,32 @@ impl AdmissionGate {
         }
     }
 
-    /// Acquire a permit, blocking while the gate is saturated.  Fails fast
-    /// with [`ServiceError::Overloaded`] once the wait queue is full.
+    /// Acquire a permit, blocking while the gate is saturated *or* earlier
+    /// arrivals are still queued (freed slots are handed out FIFO).  Fails
+    /// fast with [`ServiceError::Overloaded`] once the wait queue is full.
     pub fn admit(&self) -> Result<Permit<'_>, ServiceError> {
         let mut state = self.state.lock().unwrap();
-        if state.active >= self.max_active {
+        if state.active >= self.max_active || state.waiting > 0 {
             if state.waiting >= self.max_queue_depth {
                 return Err(ServiceError::Overloaded {
                     queue_depth: state.waiting,
                     limit: self.max_queue_depth,
                 });
             }
+            let ticket = state.next_ticket;
+            state.next_ticket += 1;
             state.waiting += 1;
-            while state.active >= self.max_active {
+            while state.active >= self.max_active || state.serving != ticket {
                 state = self.freed.wait(state).unwrap();
             }
+            state.serving += 1;
             state.waiting -= 1;
+            state.active += 1;
+            drop(state);
+            // The next ticket may already be eligible (several slots freed
+            // while the queue drained one at a time).
+            self.freed.notify_all();
+            return Ok(Permit { gate: self });
         }
         state.active += 1;
         Ok(Permit { gate: self })
@@ -118,5 +138,69 @@ mod tests {
     fn zero_max_active_is_clamped_to_one() {
         let gate = AdmissionGate::new(0, 0);
         let _permit = gate.admit().expect("clamped to one slot");
+    }
+
+    #[test]
+    fn queued_waiter_is_admitted_ahead_of_a_later_arrival() {
+        use std::sync::Arc;
+        // The barge window is the gap between a permit drop and the queued
+        // waiter's wakeup; race it repeatedly — the ticketed gate must never
+        // let the later arrival through first.
+        for _ in 0..200 {
+            let gate = Arc::new(AdmissionGate::new(1, 4));
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let permit = gate.admit().unwrap();
+            let waiter = {
+                let gate = Arc::clone(&gate);
+                let order = Arc::clone(&order);
+                std::thread::spawn(move || {
+                    let p = gate.admit().unwrap();
+                    order.lock().unwrap().push("waiter");
+                    drop(p);
+                })
+            };
+            while gate.depths().1 == 0 {
+                std::thread::yield_now();
+            }
+            // Free the slot, then immediately contend as a later arrival.
+            drop(permit);
+            let p = gate.admit().unwrap();
+            order.lock().unwrap().push("arrival");
+            drop(p);
+            waiter.join().unwrap();
+            assert_eq!(
+                order.lock().unwrap().as_slice(),
+                ["waiter", "arrival"],
+                "later arrival barged past the queued waiter"
+            );
+        }
+    }
+
+    #[test]
+    fn freed_slots_are_handed_out_in_arrival_order() {
+        use std::sync::Arc;
+        let gate = Arc::new(AdmissionGate::new(1, 8));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let permit = gate.admit().unwrap();
+        let mut waiters = Vec::new();
+        for id in 0..3usize {
+            let gate_ref = Arc::clone(&gate);
+            let order_ref = Arc::clone(&order);
+            waiters.push(std::thread::spawn(move || {
+                let p = gate_ref.admit().unwrap();
+                order_ref.lock().unwrap().push(id);
+                drop(p);
+            }));
+            // Pin the queue order: wait until this waiter is enqueued before
+            // spawning the next.
+            while gate.depths().1 <= id {
+                std::thread::yield_now();
+            }
+        }
+        drop(permit);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(order.lock().unwrap().as_slice(), [0, 1, 2]);
     }
 }

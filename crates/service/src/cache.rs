@@ -6,10 +6,14 @@
 //! stored keyed request (the same discipline as
 //! `malleus_core::GroupingCache`), so fingerprint collisions degrade to
 //! recomputation, never to serving another tenant's — or another backend's —
-//! plan.  Shards are independent mutexes selected by key, so concurrent
-//! tenants touching different plans do not contend on one lock.  Each shard
-//! evicts its least-recently-used entry once full; ties on the (shard-local)
-//! use clock break on the smaller key so eviction is deterministic.
+//! plan.  Distinct requests that share a fingerprint coexist in a small
+//! per-key bucket: each occupies its own LRU slot instead of perpetually
+//! replacing the other (which would deny one tenant cache hits forever).
+//! Shards are independent mutexes selected by key, so concurrent tenants
+//! touching different plans do not contend on one lock.  Each shard evicts
+//! its least-recently-used entry once full; ties on the (shard-local) use
+//! clock break on the smaller key, then the older bucket position, so
+//! eviction is deterministic.
 
 use crate::KeyedRequest;
 use malleus_core::PlannedOutcome;
@@ -28,8 +32,40 @@ struct CacheEntry {
 
 #[derive(Debug, Default)]
 struct Shard {
-    entries: HashMap<u64, CacheEntry>,
+    /// Fingerprint → bucket of colliding entries (almost always length 1).
+    entries: HashMap<u64, Vec<CacheEntry>>,
     clock: u64,
+}
+
+impl Shard {
+    fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Evict the least-recently-used entry across all buckets (deterministic
+    /// tie-break: clock, then key, then bucket position).
+    fn evict_lru(&mut self) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .flat_map(|(k, bucket)| {
+                bucket
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, e)| (e.last_used, *k, i))
+            })
+            .min();
+        if let Some((_, key, index)) = victim {
+            let bucket = self.entries.get_mut(&key).expect("victim bucket");
+            bucket.remove(index);
+            if bucket.is_empty() {
+                self.entries.remove(&key);
+            }
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// The sharded plan cache.
@@ -53,24 +89,23 @@ impl ShardedPlanCache {
         &self.shards[(key % self.shards.len() as u64) as usize]
     }
 
-    /// Confirmed lookup: a fingerprint match whose stored request differs from
-    /// `request` is reported as a miss (the entry stays until the recomputed
-    /// plan replaces it).
+    /// Confirmed lookup: only the bucket entry whose stored request fully
+    /// matches `request` counts as a hit; colliding co-residents are left
+    /// untouched.
     pub fn get(&self, key: u64, request: &KeyedRequest) -> Option<Arc<PlannedOutcome>> {
         let mut shard = self.shard(key).lock().unwrap();
         shard.clock += 1;
         let now = shard.clock;
-        let entry = shard.entries.get_mut(&key)?;
-        if !entry.request.matches(request) {
-            return None;
-        }
+        let bucket = shard.entries.get_mut(&key)?;
+        let entry = bucket.iter_mut().find(|e| e.request.matches(request))?;
         entry.last_used = now;
         Some(Arc::clone(&entry.outcome))
     }
 
     /// Insert a freshly computed plan, returning the number of entries evicted
-    /// (0 or 1).  Re-inserting an existing key (including a fingerprint
-    /// collision being replaced) never evicts a third entry.
+    /// (0 or 1).  A request already resident (same fingerprint *and* matching
+    /// request) is replaced in place; a colliding request gets its own bucket
+    /// slot so both survive.
     pub fn insert(&self, key: u64, request: KeyedRequest, outcome: Arc<PlannedOutcome>) -> u64 {
         if self.capacity_per_shard == 0 {
             return 0;
@@ -78,34 +113,114 @@ impl ShardedPlanCache {
         let mut shard = self.shard(key).lock().unwrap();
         shard.clock += 1;
         let now = shard.clock;
-        let mut evicted = 0;
-        if !shard.entries.contains_key(&key) && shard.entries.len() >= self.capacity_per_shard {
-            if let Some(victim) = shard
-                .entries
-                .iter()
-                .min_by_key(|(k, e)| (e.last_used, **k))
-                .map(|(k, _)| *k)
-            {
-                shard.entries.remove(&victim);
-                evicted = 1;
+        if let Some(bucket) = shard.entries.get_mut(&key) {
+            if let Some(entry) = bucket.iter_mut().find(|e| e.request.matches(&request)) {
+                entry.outcome = outcome;
+                entry.last_used = now;
+                return 0;
             }
         }
-        shard.entries.insert(
-            key,
-            CacheEntry {
-                request,
-                outcome,
-                last_used: now,
-            },
-        );
+        let mut evicted = 0;
+        if shard.len() >= self.capacity_per_shard && shard.evict_lru() {
+            evicted = 1;
+        }
+        shard.entries.entry(key).or_default().push(CacheEntry {
+            request,
+            outcome,
+            last_used: now,
+        });
         evicted
     }
 
     /// Total number of cached plans across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().entries.len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlanRequest;
+    use malleus_cluster::Cluster;
+    use malleus_core::{BackendId, PlannerConfig};
+    use malleus_model::{HardwareParams, ModelSpec, ProfiledCoefficients};
+
+    fn keyed(batch: u64) -> KeyedRequest {
+        let coeffs =
+            ProfiledCoefficients::derive(ModelSpec::llama2_7b(), HardwareParams::a800_cluster());
+        KeyedRequest {
+            backend: BackendId::Malleus,
+            backend_fingerprint: 0,
+            request: PlanRequest::new(
+                coeffs,
+                Cluster::homogeneous(1, 8).snapshot(),
+                PlannerConfig {
+                    global_batch_size: batch,
+                    ..PlannerConfig::default()
+                },
+            ),
+        }
+    }
+
+    fn outcome(step_time: f64) -> Arc<PlannedOutcome> {
+        Arc::new(PlannedOutcome {
+            backend: BackendId::Malleus,
+            plan: None,
+            active_gpus: Vec::new(),
+            estimated_step_time: step_time,
+            transition_cost: 0.0,
+            description: "test".to_string(),
+            malleus: None,
+        })
+    }
+
+    /// Regression: two distinct requests sharing a 64-bit fingerprint used to
+    /// perpetually replace each other's entry — after warm-up, each lookup of
+    /// one evicted the other, so one tenant never got cache hits.  The cache
+    /// API takes the fingerprint as a parameter, so the collision is forced
+    /// directly with distinct requests under one key.
+    #[test]
+    fn colliding_requests_coexist_and_both_hit_after_warmup() {
+        let cache = ShardedPlanCache::new(1, 8);
+        let key = 0xdead_beef;
+        let a = keyed(8);
+        let b = keyed(16);
+        assert!(!a.matches(&b), "fixture requests must be distinct");
+        // Warm-up: both tenants insert under the colliding fingerprint.
+        cache.insert(key, a.clone(), outcome(1.0));
+        cache.insert(key, b.clone(), outcome(2.0));
+        assert_eq!(cache.len(), 2, "collision must not replace the survivor");
+        // Steady state: both hit, repeatedly, with their own outcomes.
+        for _ in 0..3 {
+            let hit_a = cache.get(key, &a).expect("tenant A hits");
+            let hit_b = cache.get(key, &b).expect("tenant B hits");
+            assert_eq!(hit_a.estimated_step_time, 1.0);
+            assert_eq!(hit_b.estimated_step_time, 2.0);
+        }
+        // Re-inserting a resident request replaces in place, never a
+        // co-resident.
+        cache.insert(key, a.clone(), outcome(3.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(key, &a).unwrap().estimated_step_time, 3.0);
+        assert_eq!(cache.get(key, &b).unwrap().estimated_step_time, 2.0);
+    }
+
+    #[test]
+    fn lru_eviction_spans_collision_buckets() {
+        let cache = ShardedPlanCache::new(1, 2);
+        let a = keyed(8);
+        let b = keyed(16);
+        let c = keyed(32);
+        cache.insert(1, a.clone(), outcome(1.0));
+        cache.insert(1, b.clone(), outcome(2.0));
+        // Touch A so B is the LRU entry, then overflow with C on another key.
+        cache.get(1, &a).expect("A resident");
+        let evicted = cache.insert(2, c.clone(), outcome(3.0));
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1, &a).is_some());
+        assert!(cache.get(1, &b).is_none(), "LRU bucket entry evicted");
+        assert!(cache.get(2, &c).is_some());
     }
 }

@@ -138,13 +138,16 @@ impl KeyedRequest {
     }
 }
 
-/// Configuration equality ignoring the worker-count knob (which cannot change
-/// the produced plan).
+/// Configuration equality ignoring execution-policy knobs that cannot change
+/// the produced plan: the worker count and the incremental-replanning flag
+/// (delta replans are byte-identical to full enumeration by construction).
 fn config_equivalent(a: &PlannerConfig, b: &PlannerConfig) -> bool {
     let mut a = a.clone();
     let mut b = b.clone();
     a.parallelism = Parallelism::Fixed(1);
     b.parallelism = Parallelism::Fixed(1);
+    a.incremental = true;
+    b.incremental = true;
     a == b
 }
 
@@ -652,6 +655,12 @@ mod tests {
         b.config.parallelism = Parallelism::Fixed(7);
         assert_eq!(a.key(), b.key());
         assert!(a.matches(&b));
+        // So is the incremental-replanning flag: delta replans are
+        // byte-identical to full enumeration.
+        b.config.incremental = !a.config.incremental;
+        assert_eq!(a.key(), b.key());
+        assert!(a.matches(&b));
+        b.config.incremental = a.config.incremental;
         // Any plan-relevant field changes the key.
         b.config.global_batch_size = 16;
         assert_ne!(a.key(), b.key());

@@ -154,13 +154,17 @@ pub struct BackendMetrics {
     pub planner_invocations: u64,
 }
 
-/// Nearest-rank percentile over an ascending sample set (0.0 when empty).
+/// Nearest-rank percentile over an ascending sample set (0.0 when empty): the
+/// smallest sample whose cumulative frequency reaches `q`, i.e. the
+/// `ceil(q · n)`-th order statistic (1-indexed).  No interpolation — the
+/// estimate is always an observed sample.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// Point-in-time snapshot of the service's health and cache effectiveness.
@@ -229,6 +233,25 @@ mod tests {
         let snap = recorder.snapshot(0, 0);
         assert!((snap.p50_service_time - 50.0).abs() <= 1.0);
         assert!(snap.p99_service_time >= 99.0);
+    }
+
+    #[test]
+    fn percentile_is_true_nearest_rank_at_boundaries() {
+        // n = 1: every quantile is the single sample.
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        // n = 2: nearest rank of the median is ceil(0.5 · 2) = 1st sample
+        // (the rounded-interpolation index picked the 2nd here).
+        assert_eq!(percentile(&[1.0, 2.0], 0.5), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.99), 2.0);
+        // n = 100 over 1..=100: p50 is the 50th order statistic, exactly 50
+        // (the rounded-interpolation index produced 51), and p99 the 99th.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 0.5), 50.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        // Degenerate quantiles stay in range.
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
     }
 
     #[test]

@@ -59,13 +59,14 @@ pub mod prelude {
         Trace, TracePhase,
     };
     pub use malleus_core::{
-        plan_migration, BackendId, ClusterEvent, CostModel, Parallelism, ParallelizationPlan,
-        PlanBackend, PlanError, PlanOutcome, PlannedOutcome, Planner, PlannerConfig,
+        incremental_from_env_or, plan_migration, BackendId, ClusterEvent, CostModel, Parallelism,
+        ParallelizationPlan, PlanBackend, PlanError, PlanOutcome, PlannedOutcome, Planner,
+        PlannerConfig, ScoredLattice, INCREMENTAL_ENV,
     };
     pub use malleus_model::{HardwareParams, ModelSpec, ProfiledCoefficients};
     pub use malleus_runtime::{
-        replan_overlapped_backend, replan_overlapped_shared, BackendReplan, Executor, Profiler,
-        SessionReport, TrainingSession,
+        replan_overlapped_backend, replan_overlapped_incremental, replan_overlapped_shared,
+        BackendReplan, Executor, Profiler, SessionReport, TrainingSession,
     };
     pub use malleus_service::{
         BackendMetrics, PlanRequest, PlanService, ServiceConfig, ServiceError, ServiceMetrics,

@@ -5,9 +5,17 @@
 //! parallel path must return **byte-identical** plans — same
 //! `ParallelizationPlan`, same chosen TP/DP, bit-equal cost estimates — for
 //! every golden workload (32B/70B/110B) under every paper straggler situation
-//! S1–S6.  CI runs this suite twice, with `MALLEUS_PLANNER_PARALLELISM=1` and
-//! `=auto`; without the override the candidate path is pinned to 4 workers so
-//! the fan-out is exercised even on single-core hosts.
+//! S1–S6.  CI runs this suite with a matrix of `MALLEUS_PLANNER_PARALLELISM`
+//! (`1`, `auto`) × `MALLEUS_PLANNER_INCREMENTAL` (`0`, `1`); without the
+//! overrides the candidate path is pinned to 4 workers so the fan-out is
+//! exercised even on single-core hosts, and incremental replanning stays at
+//! its default (on).
+//!
+//! The incremental suite below replays every situation against the
+//! warm-start delta replanner and demands byte-identity with a fresh
+//! `Fixed(1)` full-enumeration oracle — covering transitions from Normal,
+//! chained S_i → S_{i+1} transitions, and the recurrent flap back to an
+//! already-seen situation (full memo reuse).
 
 mod common;
 
@@ -198,6 +206,91 @@ fn service_backend_route_is_byte_identical_to_direct_planner() {
     assert_eq!(per[0].backend, BackendId::Malleus);
     assert_eq!(per[0].requests, 4);
     assert_eq!(per[0].planner_invocations, 2);
+}
+
+/// The candidate-side planner for the incremental suite: CI-matrix worker
+/// knob plus the CI-matrix incremental knob (default: on).
+fn delta_planner(spec: &ModelSpec) -> Planner {
+    let mut config = common::planner_for(spec, 64).config;
+    config.incremental = incremental_from_env_or(true);
+    Planner::new(common::coeffs_for(spec).clone(), config).with_parallelism(candidate_parallelism())
+}
+
+fn assert_replay_identity(warm: &PlanOutcome, full: &PlanOutcome, situation: PaperSituation) {
+    assert_eq!(warm.plan, full.plan, "under {situation:?}: plans diverge");
+    assert_eq!(warm.chosen_tp, full.chosen_tp, "under {situation:?}");
+    assert_eq!(warm.dp, full.dp, "under {situation:?}");
+    assert_eq!(
+        warm.estimated_step_time.to_bits(),
+        full.estimated_step_time.to_bits(),
+        "under {situation:?}: exact estimates diverge"
+    );
+    assert_eq!(
+        warm.estimated_step_time_simplified.to_bits(),
+        full.estimated_step_time_simplified.to_bits(),
+        "under {situation:?}: simplified estimates diverge"
+    );
+}
+
+#[test]
+fn incremental_replays_from_normal_match_the_full_enumeration_oracle() {
+    // Every S1–S6 replay from the healthy plan: the warm-start delta
+    // replanner must be byte-identical to a fresh serial full-enumeration
+    // replan, and its lattice must record whether the event was structural.
+    let spec = ModelSpec::llama2_32b();
+    let delta = delta_planner(&spec);
+    let oracle = common::planner_for(&spec, 64).with_parallelism(Parallelism::Fixed(1));
+    let base = delta
+        .plan(&common::snapshot_for(4, PaperSituation::Normal))
+        .expect("healthy base plan");
+    for situation in SITUATIONS {
+        let snapshot = common::snapshot_for(4, situation);
+        let warm = delta
+            .replan_delta(&snapshot, &base)
+            .unwrap_or_else(|e| panic!("delta replan under {situation:?}: {e}"));
+        let full = oracle
+            .replan(&snapshot, &base.plan)
+            .unwrap_or_else(|e| panic!("oracle replan under {situation:?}: {e}"));
+        assert_replay_identity(&warm, &full, situation);
+        if let Some(base_lattice) = base.lattice.as_ref() {
+            let expect_delta = !base_lattice.structural_change(&snapshot);
+            assert_eq!(
+                warm.lattice.as_ref().expect("lattice present").delta,
+                expect_delta,
+                "under {situation:?}: wrong replanning route"
+            );
+        }
+    }
+}
+
+#[test]
+fn chained_incremental_replays_match_the_oracle_at_every_transition() {
+    // Chained replay Normal → S1 → … → S6 → S2 → Normal, threading each
+    // outcome (and its lattice) into the next delta replan.  The S2 and
+    // Normal revisits recur to already-evaluated rate states, exercising the
+    // cross-invocation candidate memo; byte-identity must hold at every hop.
+    let spec = ModelSpec::llama2_32b();
+    let delta = delta_planner(&spec);
+    let oracle = common::planner_for(&spec, 64).with_parallelism(Parallelism::Fixed(1));
+    let mut current = delta
+        .plan(&common::snapshot_for(4, PaperSituation::Normal))
+        .expect("healthy base plan");
+    let replay: Vec<PaperSituation> = SITUATIONS
+        .iter()
+        .copied()
+        .chain([PaperSituation::S2, PaperSituation::Normal])
+        .collect();
+    for situation in replay {
+        let snapshot = common::snapshot_for(4, situation);
+        let warm = delta
+            .replan_delta(&snapshot, &current)
+            .unwrap_or_else(|e| panic!("delta replan under {situation:?}: {e}"));
+        let full = oracle
+            .replan(&snapshot, &current.plan)
+            .unwrap_or_else(|e| panic!("oracle replan under {situation:?}: {e}"));
+        assert_replay_identity(&warm, &full, situation);
+        current = warm;
+    }
 }
 
 #[test]
