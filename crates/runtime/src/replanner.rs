@@ -20,7 +20,7 @@ use malleus_core::{
     PlannedOutcome, Planner, PlannerConfig, DEFAULT_STRAGGLER_THRESHOLD,
 };
 use malleus_model::ProfiledCoefficients;
-use malleus_service::{PlanRequest, PlanService, ServiceError};
+use malleus_service::{PlanRequest, PlanTransport, ServiceError};
 use serde::{Deserialize, Serialize};
 
 /// Result of an overlapped re-planning round.
@@ -135,10 +135,12 @@ pub fn replan_overlapped_backend(
 }
 
 /// Service-backed overlapped re-planning: like [`replan_overlapped`], but the
-/// planner invocation goes through a shared [`PlanService`], so N sessions
-/// replanning after the same cluster event (same snapshot, same coefficients,
-/// same configuration, same backend) pay for one planner run and share the
-/// cached plan.
+/// planner invocation goes through a shared [`PlanTransport`] — an in-process
+/// [`malleus_service::PlanService`] or a remote
+/// [`malleus_service::PlanClient`] dialing a standalone plan daemon — so N
+/// sessions replanning after the same cluster event (same snapshot, same
+/// coefficients, same configuration, same backend) pay for one planner run
+/// and share the cached plan.
 ///
 /// For [`BackendId::Malleus`] this mirrors `Planner::replan` exactly: first
 /// request the plan with the previous DP degree pinned (the paper maintains
@@ -149,7 +151,7 @@ pub fn replan_overlapped_backend(
 /// infeasibility — it propagates so the session can back off rather than
 /// silently re-running the expensive fallback.
 pub fn replan_overlapped_shared(
-    service: &PlanService,
+    transport: &dyn PlanTransport,
     backend: BackendId,
     coeffs: &ProfiledCoefficients,
     config: &PlannerConfig,
@@ -162,16 +164,16 @@ pub fn replan_overlapped_shared(
         let mut pinned_config = config.clone();
         pinned_config.fixed_dp = Some(previous.dp());
         let pinned = PlanRequest::new(coeffs.clone(), snapshot.clone(), pinned_config);
-        match service.plan_backend(backend, &pinned) {
+        match transport.plan_routed(backend, &pinned) {
             Ok(outcome) => outcome,
-            Err(ServiceError::Plan(_)) => service.plan_backend(
+            Err(ServiceError::Plan(_)) => transport.plan_routed(
                 backend,
                 &PlanRequest::new(coeffs.clone(), snapshot.clone(), config.clone()),
             )?,
             Err(e) => return Err(e),
         }
     } else {
-        service.plan_backend(
+        transport.plan_routed(
             backend,
             &PlanRequest::new(coeffs.clone(), snapshot.clone(), config.clone()),
         )?

@@ -21,7 +21,7 @@ use malleus_core::{
     BackendId, PlanBackend, PlanError, PlanOutcome, PlannedOutcome, Planner, PlannerConfig,
 };
 use malleus_model::ProfiledCoefficients;
-use malleus_service::{PlanRequest, PlanService, ServiceError};
+use malleus_service::{PlanClient, PlanRequest, PlanService, PlanTransport, ServiceError};
 use malleus_sim::restart_time;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -128,10 +128,12 @@ pub struct TrainingSession {
     pub profiler: Profiler,
     /// The simulated cluster (true straggling rates live here).
     pub cluster: Cluster,
-    /// Optional shared planning service: when set, every planner invocation
+    /// Optional shared planning transport: when set, every planner invocation
     /// (initial plan and re-planning) is routed through it, so concurrent
     /// sessions planning against the same snapshot share one computation.
-    service: Option<Arc<PlanService>>,
+    /// Either an in-process [`PlanService`] or a [`PlanClient`] dialing a
+    /// standalone plan daemon — the session loop cannot tell them apart.
+    service: Option<Arc<dyn PlanTransport>>,
     /// Optional backend handle: when set, planning and re-planning go through
     /// this [`PlanBackend`] instead of the built-in Malleus planner, so the
     /// same session loop drives any of the paper's comparison systems.
@@ -158,6 +160,17 @@ impl TrainingSession {
     /// wall-clock.
     pub fn with_service(mut self, service: Arc<PlanService>) -> Self {
         self.service = Some(service);
+        self
+    }
+
+    /// Route this session's planning through a remote plan daemon via a
+    /// [`PlanClient`] (the socket analogue of
+    /// [`TrainingSession::with_service`]).  The client's L1 cache sits in
+    /// front of the daemon's shared L2, and the wire codec preserves `f64`
+    /// bit patterns, so the produced plans — and therefore the session
+    /// reports — are byte-identical to the in-process paths.
+    pub fn with_remote(mut self, client: Arc<PlanClient>) -> Self {
+        self.service = Some(client);
         self
     }
 
@@ -193,8 +206,16 @@ impl TrainingSession {
                     snapshot.clone(),
                     self.planner.config.clone(),
                 );
-                match service.plan(&request) {
-                    Ok(outcome) => Ok((*outcome).clone()),
+                match service.plan_routed(BackendId::Malleus, &request) {
+                    Ok(outcome) => {
+                        let malleus = outcome.malleus.clone().ok_or_else(|| {
+                            RuntimeError::Planning(
+                                "transport returned a non-Malleus outcome on the Malleus route"
+                                    .into(),
+                            )
+                        })?;
+                        Ok((*malleus).clone())
+                    }
                     Err(ServiceError::Overloaded { .. }) => Ok(self.planner.plan(snapshot)?),
                     Err(e) => Err(e.into()),
                 }
@@ -214,7 +235,7 @@ impl TrainingSession {
         match &self.service {
             Some(service) => {
                 match replan_overlapped_shared(
-                    service,
+                    service.as_ref(),
                     BackendId::Malleus,
                     &self.planner.cost.coeffs,
                     &self.planner.config,
@@ -581,6 +602,43 @@ mod tests {
             "the saturated service should have shed at least the first request"
         );
         blocker.join().unwrap();
+    }
+
+    #[test]
+    fn remote_session_matches_the_direct_session() {
+        use malleus_service::{
+            ClientConfig, PlanClient, PlanServer, PlanService, ServerConfig, ServiceConfig,
+        };
+        let cluster = Cluster::homogeneous(4, 8);
+        let trace = short_trace(
+            &cluster,
+            &[
+                PaperSituation::Normal,
+                PaperSituation::S2,
+                PaperSituation::Normal,
+            ],
+        );
+        let direct = session(cluster.clone()).run(&trace).expect("direct");
+
+        let service = Arc::new(PlanService::new(ServiceConfig::default()));
+        let _server = PlanServer::bind_tcp(service, "127.0.0.1:0", ServerConfig::default())
+            .expect("bind daemon");
+        let addr = _server.tcp_addr().expect("tcp endpoint");
+        let client =
+            Arc::new(PlanClient::connect_tcp(addr, ClientConfig::default()).expect("connect"));
+        let mut remote = session(cluster).with_remote(Arc::clone(&client));
+        let via_socket = remote.run(&trace).expect("remote session");
+
+        assert_eq!(via_socket.phases.len(), direct.phases.len());
+        for (ours, theirs) in via_socket.phases.iter().zip(direct.phases.iter()) {
+            // Byte-identical plans over the wire ⇒ bit-identical step times.
+            assert_eq!(ours.step_time.to_bits(), theirs.step_time.to_bits());
+            assert_eq!(ours.dp, theirs.dp);
+            assert_eq!(ours.plan_description, theirs.plan_description);
+            assert_eq!(ours.migration_time, theirs.migration_time);
+        }
+        let stats = client.l1_stats();
+        assert!(stats.requests > 0, "planning went through the client");
     }
 
     #[test]

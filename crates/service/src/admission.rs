@@ -7,9 +7,18 @@
 //! `malleus_core::parallel`.  Requests beyond the cap queue on a condvar up
 //! to `max_queue_depth` waiters; past that the gate sheds load by returning
 //! [`ServiceError::Overloaded`] — the backpressure knob.
+//!
+//! Queued waiters additionally honor an optional `queue_wait_timeout`: if no
+//! slot frees within the bound, the ticket is *abandoned* and the caller gets
+//! a typed [`ServiceError::AdmissionTimeout`] instead of blocking forever on
+//! a wedged (or merely slow) planner.  Abandoned tickets are skipped when the
+//! serving pointer reaches them, so a timed-out head never strands the
+//! waiters queued behind it.
 
 use crate::ServiceError;
+use std::collections::BTreeSet;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
 struct GateState {
@@ -22,13 +31,30 @@ struct GateState {
     /// `active < max_active` but `waiting > 0` must still queue, otherwise a
     /// continuous arrival stream barges past the queue and starves it.
     serving: u64,
+    /// Tickets whose waiters timed out before being served.  The serving
+    /// pointer skips over these so the queue keeps draining.
+    abandoned: BTreeSet<u64>,
 }
 
-/// Counting semaphore with a bounded wait queue.
+impl GateState {
+    /// Advance `serving` past `just_retired` and any abandoned tickets that
+    /// follow it, landing on the next ticket with a live waiter (or on
+    /// `next_ticket` if the queue is empty).
+    fn advance_serving(&mut self, just_retired: u64) {
+        self.serving = just_retired + 1;
+        while self.abandoned.remove(&self.serving) {
+            self.serving += 1;
+        }
+    }
+}
+
+/// Counting semaphore with a bounded, FIFO, optionally time-limited wait
+/// queue.
 #[derive(Debug)]
 pub(crate) struct AdmissionGate {
     max_active: usize,
     max_queue_depth: usize,
+    queue_wait_timeout: Option<Duration>,
     state: Mutex<GateState>,
     freed: Condvar,
 }
@@ -52,10 +78,15 @@ impl Drop for Permit<'_> {
 }
 
 impl AdmissionGate {
-    pub fn new(max_active: usize, max_queue_depth: usize) -> Self {
+    pub fn new(
+        max_active: usize,
+        max_queue_depth: usize,
+        queue_wait_timeout: Option<Duration>,
+    ) -> Self {
         Self {
             max_active: max_active.max(1),
             max_queue_depth,
+            queue_wait_timeout,
             state: Mutex::new(GateState::default()),
             freed: Condvar::new(),
         }
@@ -63,8 +94,19 @@ impl AdmissionGate {
 
     /// Acquire a permit, blocking while the gate is saturated *or* earlier
     /// arrivals are still queued (freed slots are handed out FIFO).  Fails
-    /// fast with [`ServiceError::Overloaded`] once the wait queue is full.
+    /// fast with [`ServiceError::Overloaded`] once the wait queue is full,
+    /// and with [`ServiceError::AdmissionTimeout`] if the gate's
+    /// `queue_wait_timeout` elapses before a slot is granted.
     pub fn admit(&self) -> Result<Permit<'_>, ServiceError> {
+        self.admit_with_timeout(self.queue_wait_timeout)
+    }
+
+    /// [`admit`](Self::admit) with an explicit per-call timeout override
+    /// (tests mix bounded and unbounded waiters on one gate).
+    pub fn admit_with_timeout(
+        &self,
+        timeout: Option<Duration>,
+    ) -> Result<Permit<'_>, ServiceError> {
         let mut state = self.state.lock().unwrap();
         if state.active >= self.max_active || state.waiting > 0 {
             if state.waiting >= self.max_queue_depth {
@@ -76,10 +118,36 @@ impl AdmissionGate {
             let ticket = state.next_ticket;
             state.next_ticket += 1;
             state.waiting += 1;
+            let enqueued = Instant::now();
             while state.active >= self.max_active || state.serving != ticket {
-                state = self.freed.wait(state).unwrap();
+                match timeout {
+                    None => state = self.freed.wait(state).unwrap(),
+                    Some(limit) => {
+                        let waited = enqueued.elapsed();
+                        let Some(remaining) = limit.checked_sub(waited) else {
+                            // Abandon the ticket: leave the queue, and make
+                            // sure the serving pointer never rests on it.
+                            state.waiting -= 1;
+                            if state.serving == ticket {
+                                state.advance_serving(ticket);
+                            } else {
+                                state.abandoned.insert(ticket);
+                            }
+                            drop(state);
+                            // The next live ticket may now be at the head.
+                            self.freed.notify_all();
+                            return Err(ServiceError::AdmissionTimeout {
+                                waited,
+                                timeout: limit,
+                            });
+                        };
+                        let (guard, _timed_out) =
+                            self.freed.wait_timeout(state, remaining).unwrap();
+                        state = guard;
+                    }
+                }
             }
-            state.serving += 1;
+            state.advance_serving(ticket);
             state.waiting -= 1;
             state.active += 1;
             drop(state);
@@ -105,7 +173,7 @@ mod tests {
 
     #[test]
     fn permits_free_on_drop() {
-        let gate = AdmissionGate::new(1, 0);
+        let gate = AdmissionGate::new(1, 0, None);
         let permit = gate.admit().expect("first permit");
         assert_eq!(gate.depths(), (1, 0));
         // Saturated with an empty wait queue: immediate backpressure.
@@ -120,7 +188,7 @@ mod tests {
 
     #[test]
     fn waiters_are_admitted_when_a_slot_frees() {
-        let gate = std::sync::Arc::new(AdmissionGate::new(1, 4));
+        let gate = std::sync::Arc::new(AdmissionGate::new(1, 4, None));
         let permit = gate.admit().unwrap();
         let waiter = {
             let gate = std::sync::Arc::clone(&gate);
@@ -136,7 +204,7 @@ mod tests {
 
     #[test]
     fn zero_max_active_is_clamped_to_one() {
-        let gate = AdmissionGate::new(0, 0);
+        let gate = AdmissionGate::new(0, 0, None);
         let _permit = gate.admit().expect("clamped to one slot");
     }
 
@@ -147,7 +215,7 @@ mod tests {
         // waiter's wakeup; race it repeatedly — the ticketed gate must never
         // let the later arrival through first.
         for _ in 0..200 {
-            let gate = Arc::new(AdmissionGate::new(1, 4));
+            let gate = Arc::new(AdmissionGate::new(1, 4, None));
             let order = Arc::new(Mutex::new(Vec::new()));
             let permit = gate.admit().unwrap();
             let waiter = {
@@ -179,7 +247,7 @@ mod tests {
     #[test]
     fn freed_slots_are_handed_out_in_arrival_order() {
         use std::sync::Arc;
-        let gate = Arc::new(AdmissionGate::new(1, 8));
+        let gate = Arc::new(AdmissionGate::new(1, 8, None));
         let order = Arc::new(Mutex::new(Vec::new()));
         let permit = gate.admit().unwrap();
         let mut waiters = Vec::new();
@@ -202,5 +270,103 @@ mod tests {
             w.join().unwrap();
         }
         assert_eq!(order.lock().unwrap().as_slice(), [0, 1, 2]);
+    }
+
+    /// Regression: with no `queue_wait_timeout` this configuration blocks the
+    /// waiter forever (the permit is never dropped) — the old gate had no
+    /// timeout at all, so this test would hang on the old code.  With the
+    /// timeout, the waiter must come back with a typed error within the
+    /// bound.
+    #[test]
+    fn queue_wait_timeout_bounds_the_wait_with_a_typed_error() {
+        use std::sync::Arc;
+        let timeout = Duration::from_millis(50);
+        let gate = Arc::new(AdmissionGate::new(1, 4, Some(timeout)));
+        // Hold the only slot for the whole test: no slot ever frees.
+        let _blocker = gate.admit().expect("first permit is immediate");
+        let started = Instant::now();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.admit().map(|_| ()))
+        };
+        let result = waiter.join().unwrap();
+        let elapsed = started.elapsed();
+        match result {
+            Err(ServiceError::AdmissionTimeout { waited, timeout: t }) => {
+                assert_eq!(t, timeout);
+                assert!(
+                    waited >= timeout,
+                    "reported wait {waited:?} below the bound"
+                );
+            }
+            other => panic!("expected AdmissionTimeout, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "timeout failed to bound the wait ({elapsed:?})"
+        );
+        // The abandoned ticket must not wedge the gate for later arrivals.
+        assert_eq!(gate.depths().1, 0);
+    }
+
+    /// An abandoned ticket in the *middle* of the queue must be skipped when
+    /// the serving pointer reaches it — the waiters behind it still drain in
+    /// order.
+    #[test]
+    fn later_queue_survives_an_abandoned_head_ticket() {
+        use std::sync::Arc;
+        let gate = Arc::new(AdmissionGate::new(1, 8, None));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let permit = gate.admit().unwrap();
+
+        // A queues first with no timeout.
+        let a = {
+            let (gate, order) = (Arc::clone(&gate), Arc::clone(&order));
+            std::thread::spawn(move || {
+                let p = gate.admit_with_timeout(None).unwrap();
+                order.lock().unwrap().push("a");
+                drop(p);
+            })
+        };
+        while gate.depths().1 < 1 {
+            std::thread::yield_now();
+        }
+        // B queues second with a short timeout — it will abandon its ticket
+        // while *not* at the head (A holds the head).
+        let b = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.admit_with_timeout(Some(Duration::from_millis(30)))
+                    .map(|_| ())
+            })
+        };
+        while gate.depths().1 < 2 {
+            std::thread::yield_now();
+        }
+        // C queues third, unbounded.
+        let c = {
+            let (gate, order) = (Arc::clone(&gate), Arc::clone(&order));
+            std::thread::spawn(move || {
+                let p = gate.admit_with_timeout(None).unwrap();
+                order.lock().unwrap().push("c");
+                drop(p);
+            })
+        };
+        while gate.depths().1 < 3 {
+            std::thread::yield_now();
+        }
+
+        // Let B time out and abandon its mid-queue ticket.
+        assert!(matches!(
+            b.join().unwrap(),
+            Err(ServiceError::AdmissionTimeout { .. })
+        ));
+        // Now free the slot: A is admitted, and when A's permit drops the
+        // serving pointer must skip B's abandoned ticket straight to C.
+        drop(permit);
+        a.join().unwrap();
+        c.join().unwrap();
+        assert_eq!(order.lock().unwrap().as_slice(), ["a", "c"]);
+        assert_eq!(gate.depths(), (0, 0));
     }
 }

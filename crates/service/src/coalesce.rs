@@ -7,14 +7,42 @@
 //! to an in-flight key — is detected by full-equality comparison against the
 //! leader's request and falls back to an independent computation, so
 //! coalescing can never hand a tenant another tenant's plan.
+//!
+//! Leader-failure hardening: if the leader thread panics/unwinds mid-plan it
+//! never reaches [`InFlightTable::complete`], which would historically leave
+//! followers parked on the condvar forever.  The leader therefore holds an
+//! unwind guard (`CompleteSlotOnDrop` in `lib.rs`) that publishes
+//! [`Publication::Aborted`] on the way out; followers observing an abort fall
+//! back to computing the plan independently instead of hanging or inheriting
+//! a synthetic error.
 
 use crate::{KeyedRequest, ServiceError};
 use malleus_core::PlannedOutcome;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// What a computation produced, shared verbatim with every coalesced waiter.
 pub(crate) type PlanResult = Result<Arc<PlannedOutcome>, ServiceError>;
+
+/// What the leader published into the slot.
+#[derive(Debug, Clone)]
+pub(crate) enum Publication {
+    /// The leader ran to completion (successfully or with a typed error).
+    Done(PlanResult),
+    /// The leader unwound without completing (panic mid-plan); followers
+    /// must recompute independently.
+    Aborted,
+}
+
+/// Lock that survives a poisoned mutex: the protected state (an `Option` set
+/// exactly once, a `HashMap` mutated under short critical sections) is valid
+/// at every intermediate point, and a leader panic must not cascade poison
+/// panics into every follower.
+fn lock_robust<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// One in-flight computation.
 #[derive(Debug)]
@@ -22,7 +50,7 @@ pub(crate) struct InFlight {
     /// The leader's keyed request (followers confirm full equality — backend
     /// included — before waiting).
     request: KeyedRequest,
-    result: Mutex<Option<PlanResult>>,
+    result: Mutex<Option<Publication>>,
     ready: Condvar,
 }
 
@@ -35,17 +63,21 @@ impl InFlight {
         }
     }
 
-    /// Block until the leader publishes, then return a clone of its result.
-    pub fn wait(&self) -> PlanResult {
-        let mut slot = self.result.lock().unwrap();
+    /// Block until the leader publishes (a result *or* an abort), then return
+    /// a clone of the publication.
+    pub fn wait(&self) -> Publication {
+        let mut slot = lock_robust(&self.result);
         while slot.is_none() {
-            slot = self.ready.wait(slot).unwrap();
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         slot.as_ref().unwrap().clone()
     }
 
-    fn publish(&self, result: PlanResult) {
-        *self.result.lock().unwrap() = Some(result);
+    fn publish(&self, publication: Publication) {
+        *lock_robust(&self.result) = Some(publication);
         self.ready.notify_all();
     }
 }
@@ -53,7 +85,7 @@ impl InFlight {
 /// How a request relates to the in-flight table.
 pub(crate) enum Role {
     /// First arrival: owns the computation and must call
-    /// [`InFlightTable::complete`] exactly once.
+    /// [`InFlightTable::complete`] (or [`InFlightTable::abort`]) exactly once.
     Leader(Arc<InFlight>),
     /// Identical request already in flight: wait on its slot.
     Follower(Arc<InFlight>),
@@ -71,7 +103,7 @@ pub(crate) struct InFlightTable {
 impl InFlightTable {
     /// Join the in-flight computation for `key`, or become its leader.
     pub fn join(&self, key: u64, request: &KeyedRequest) -> Role {
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots = lock_robust(&self.slots);
         match slots.get(&key) {
             Some(slot) if slot.request.matches(request) => Role::Follower(Arc::clone(slot)),
             Some(_) => Role::Collision,
@@ -86,12 +118,20 @@ impl InFlightTable {
     /// Leader-side completion: publish the result to every follower (waking
     /// them) and retire the slot so later requests go to the cache.
     pub fn complete(&self, key: u64, slot: &Arc<InFlight>, result: PlanResult) {
-        slot.publish(result);
-        self.slots.lock().unwrap().remove(&key);
+        slot.publish(Publication::Done(result));
+        lock_robust(&self.slots).remove(&key);
+    }
+
+    /// Leader-side abort (unwind path): wake every follower with
+    /// [`Publication::Aborted`] so they recompute independently, and retire
+    /// the slot so a later arrival can become a fresh leader.
+    pub fn abort(&self, key: u64, slot: &Arc<InFlight>) {
+        slot.publish(Publication::Aborted);
+        lock_robust(&self.slots).remove(&key);
     }
 
     /// Number of in-flight computations (diagnostics).
     pub fn len(&self) -> usize {
-        self.slots.lock().unwrap().len()
+        lock_robust(&self.slots).len()
     }
 }

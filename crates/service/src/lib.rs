@@ -40,12 +40,14 @@ mod admission;
 mod cache;
 mod coalesce;
 mod metrics;
+pub mod server;
 
 pub use metrics::{BackendMetrics, ServiceMetrics};
+pub use server::{ClientConfig, Endpoint, L1Stats, PlanClient, PlanServer, ServerConfig};
 
 use admission::AdmissionGate;
 use cache::ShardedPlanCache;
-use coalesce::{InFlightTable, Role};
+use coalesce::{InFlightTable, Publication, Role};
 use malleus_cluster::ClusterSnapshot;
 use malleus_core::{
     BackendConstructor, BackendId, GroupingCache, Parallelism, PlanBackend, PlanError, PlanOutcome,
@@ -55,7 +57,7 @@ use malleus_model::ProfiledCoefficients;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One tenant's planning request: the profiled coefficients (model spec +
 /// hardware), the observed cluster snapshot, and the planner configuration.
@@ -111,10 +113,20 @@ impl PlanRequest {
 /// singleflight table actually key on.  The backend's own config fingerprint
 /// is included so two instances of the same backend with different knobs
 /// (e.g. Oobleck overhead factors) never share a cache line.
-#[derive(Debug, Clone)]
-pub(crate) struct KeyedRequest {
+///
+/// This is also the on-wire request shape of the standalone plan server (see
+/// [`server`]): a remote client sends a `KeyedRequest` with
+/// `backend_fingerprint = 0` — the fingerprint is advisory there, since the
+/// daemon recomputes it from its own registered constructor before touching
+/// the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedRequest {
+    /// The backend the request is routed to.
     pub backend: BackendId,
+    /// The backend instance's config fingerprint (0 = let the server derive
+    /// it).
     pub backend_fingerprint: u64,
+    /// The tenant's planning request.
     pub request: PlanRequest,
 }
 
@@ -264,6 +276,18 @@ pub struct ServiceConfig {
     /// invocations (each runs its candidate fan-out on
     /// `worker_budget / max_concurrent_plans` workers, minimum 1).
     pub worker_budget: usize,
+    /// How long a queued request may wait for an execution slot before
+    /// failing with [`ServiceError::AdmissionTimeout`].  `None` (the
+    /// default) waits indefinitely, preserving the pre-timeout behavior.
+    pub queue_wait_timeout: Option<Duration>,
+    /// Time-to-live of cached plans; entries older than this are purged
+    /// lazily on the next touch of their cache bucket.  `None` disables TTL
+    /// expiry.
+    pub cache_ttl: Option<Duration>,
+    /// Approximate byte budget per cache shard (see the size model in
+    /// [`cache`]); LRU entries are evicted until a new insertion fits.
+    /// `None` disables size-aware eviction.
+    pub cache_max_bytes_per_shard: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -277,6 +301,9 @@ impl Default for ServiceConfig {
             max_concurrent_plans: cores.min(4).max(1),
             max_queue_depth: 1024,
             worker_budget: cores,
+            queue_wait_timeout: None,
+            cache_ttl: Some(Duration::from_secs(600)),
+            cache_max_bytes_per_shard: Some(8 << 20),
         }
     }
 }
@@ -315,6 +342,24 @@ pub enum ServiceError {
         /// The backend the request named.
         backend: BackendId,
     },
+    /// The request waited in the admission queue past the configured
+    /// `queue_wait_timeout` without being granted an execution slot.
+    /// Distinct from [`ServiceError::Overloaded`] (the queue was *full* on
+    /// arrival): this request was accepted but the planner never freed a
+    /// slot in time.
+    AdmissionTimeout {
+        /// How long the request actually waited.
+        waited: Duration,
+        /// The configured bound it exceeded.
+        timeout: Duration,
+    },
+    /// The transport between a remote client and the plan server failed
+    /// (connection refused/reset, malformed or oversized frame, protocol
+    /// version mismatch).  Only produced by the socket path in [`server`].
+    Transport {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -331,6 +376,13 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownBackend { backend } => {
                 write!(f, "no planning backend registered for {backend}")
             }
+            ServiceError::AdmissionTimeout { waited, timeout } => write!(
+                f,
+                "request timed out in the admission queue after {waited:?} (limit {timeout:?})"
+            ),
+            ServiceError::Transport { reason } => {
+                write!(f, "plan-server transport failed: {reason}")
+            }
         }
     }
 }
@@ -344,10 +396,11 @@ impl From<PlanError> for ServiceError {
 }
 
 /// Leader-side unwind guard: if the leader panics before publishing, the
-/// drop handler publishes an [`ServiceError::Internal`] result and retires
-/// the slot so followers wake with an error instead of blocking forever (and
-/// the key is not wedged for future requests).  [`CompleteSlotOnDrop::disarm`]
-/// is the normal-path completion.
+/// drop handler publishes [`coalesce::Publication::Aborted`] and retires the
+/// slot, so followers wake and *recompute independently* instead of blocking
+/// forever or inheriting a synthetic error for a plan that may be perfectly
+/// computable (and the key is not wedged for future requests).
+/// [`CompleteSlotOnDrop::disarm`] is the normal-path completion.
 struct CompleteSlotOnDrop<'a> {
     inflight: &'a InFlightTable,
     key: u64,
@@ -363,13 +416,7 @@ impl CompleteSlotOnDrop<'_> {
 
 impl Drop for CompleteSlotOnDrop<'_> {
     fn drop(&mut self) {
-        self.inflight.complete(
-            self.key,
-            self.slot,
-            Err(ServiceError::Internal {
-                reason: "planning thread panicked before publishing a result".into(),
-            }),
-        );
+        self.inflight.abort(self.key, self.slot);
     }
 }
 
@@ -407,9 +454,18 @@ impl PlanService {
     /// backends are opt-in via [`PlanService::register_backend`].
     pub fn new(config: ServiceConfig) -> Self {
         let service = Self {
-            cache: ShardedPlanCache::new(config.shards, config.capacity_per_shard),
+            cache: ShardedPlanCache::new(
+                config.shards,
+                config.capacity_per_shard,
+                config.cache_ttl,
+                config.cache_max_bytes_per_shard,
+            ),
             inflight: InFlightTable::default(),
-            admission: AdmissionGate::new(config.max_concurrent_plans, config.max_queue_depth),
+            admission: AdmissionGate::new(
+                config.max_concurrent_plans,
+                config.max_queue_depth,
+                config.queue_wait_timeout,
+            ),
             registry: BackendRegistry {
                 ctors: Mutex::new(BTreeMap::new()),
             },
@@ -518,7 +574,11 @@ impl PlanService {
         };
         let key = keyed.key();
 
-        if let Some(outcome) = self.cache.get(key, &keyed) {
+        let (hit, expired) = self.cache.get(key, &keyed);
+        for _ in 0..expired {
+            metrics::MetricsRecorder::bump(&self.metrics.evictions);
+        }
+        if let Some(outcome) = hit {
             metrics::MetricsRecorder::bump(&self.metrics.hits);
             metrics::MetricsRecorder::bump(&self.metrics.backend(backend).hits);
             self.metrics
@@ -530,7 +590,16 @@ impl PlanService {
             Role::Follower(slot) => {
                 metrics::MetricsRecorder::bump(&self.metrics.coalesced);
                 metrics::MetricsRecorder::bump(&self.metrics.backend(backend).coalesced);
-                slot.wait()
+                match slot.wait() {
+                    Publication::Done(result) => result,
+                    Publication::Aborted => {
+                        // The leader unwound without completing; fall back to
+                        // an independent computation rather than surfacing a
+                        // synthetic error for a computable plan.
+                        metrics::MetricsRecorder::bump(&self.metrics.misses);
+                        self.compute_and_store(key, &keyed, instance.as_ref(), &exec_config)
+                    }
+                }
             }
             Role::Collision => {
                 // A different request is in flight under our fingerprint;
@@ -555,7 +624,11 @@ impl PlanService {
                 // synchronize on the slot-table lock): re-check so the
                 // singleflight invariant — one planner invocation per
                 // distinct key — holds even across that race.
-                let result = match self.cache.get(key, &keyed) {
+                let (hit, expired) = self.cache.get(key, &keyed);
+                for _ in 0..expired {
+                    metrics::MetricsRecorder::bump(&self.metrics.evictions);
+                }
+                let result = match hit {
                     Some(outcome) => {
                         metrics::MetricsRecorder::bump(&self.metrics.hits);
                         metrics::MetricsRecorder::bump(&self.metrics.backend(backend).hits);
@@ -586,7 +659,12 @@ impl PlanService {
         let _permit = match permit {
             Ok(p) => p,
             Err(e) => {
-                metrics::MetricsRecorder::bump(&self.metrics.rejected);
+                match &e {
+                    ServiceError::AdmissionTimeout { .. } => {
+                        metrics::MetricsRecorder::bump(&self.metrics.timed_out)
+                    }
+                    _ => metrics::MetricsRecorder::bump(&self.metrics.rejected),
+                }
                 return Err(e);
             }
         };
@@ -616,9 +694,38 @@ impl PlanService {
         self.cache.len()
     }
 
+    /// Approximate bytes held by the L2 plan cache (diagnostics / reports).
+    pub fn cached_bytes(&self) -> usize {
+        self.cache.approx_bytes()
+    }
+
     /// Number of computations currently in flight (diagnostics / tests).
     pub fn inflight_plans(&self) -> usize {
         self.inflight.len()
+    }
+}
+
+/// Transport-agnostic planning surface: the runtime's `TrainingSession`
+/// plans through a `&dyn PlanTransport` and does not care whether the
+/// implementation is the in-process [`PlanService`] or a socket-backed
+/// [`PlanClient`] talking to a standalone daemon — both return byte-identical
+/// plans by the service's determinism contract.
+pub trait PlanTransport: Send + Sync + std::fmt::Debug {
+    /// Serve one planning request through the named backend.
+    fn plan_routed(
+        &self,
+        backend: BackendId,
+        request: &PlanRequest,
+    ) -> Result<Arc<PlannedOutcome>, ServiceError>;
+}
+
+impl PlanTransport for PlanService {
+    fn plan_routed(
+        &self,
+        backend: BackendId,
+        request: &PlanRequest,
+    ) -> Result<Arc<PlannedOutcome>, ServiceError> {
+        self.plan_backend(backend, request)
     }
 }
 
@@ -754,6 +861,134 @@ mod tests {
         assert_eq!(per[0].requests, 2);
         assert_eq!(per[0].hits, 1);
         assert_eq!(per[0].planner_invocations, 1);
+    }
+
+    /// A mock backend whose *first* `plan` call blocks until released and
+    /// then panics; every later call returns a small valid outcome.  Used to
+    /// inject a leader panic while a follower is coalesced onto its slot.
+    #[derive(Debug)]
+    struct PanicOnFirstPlan {
+        release: Arc<(Mutex<bool>, std::sync::Condvar)>,
+        calls: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl PlanBackend for PanicOnFirstPlan {
+        fn id(&self) -> BackendId {
+            BackendId::Megatron
+        }
+
+        fn fingerprint_config(&self) -> u64 {
+            0xfeed
+        }
+
+        fn plan(
+            &self,
+            _snapshot: &ClusterSnapshot,
+            _config: &PlannerConfig,
+        ) -> Result<PlannedOutcome, PlanError> {
+            use std::sync::atomic::Ordering;
+            if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                let (flag, released) = &*self.release;
+                let mut go = flag.lock().unwrap();
+                while !*go {
+                    go = released.wait(go).unwrap();
+                }
+                panic!("injected leader panic mid-plan");
+            }
+            Ok(PlannedOutcome {
+                backend: BackendId::Megatron,
+                plan: None,
+                active_gpus: Vec::new(),
+                estimated_step_time: 1.0,
+                transition_cost: 0.0,
+                description: "mock".to_string(),
+                malleus: None,
+            })
+        }
+
+        fn replan(
+            &self,
+            snapshot: &ClusterSnapshot,
+            _previous: &PlannedOutcome,
+            _event: malleus_core::ClusterEvent,
+        ) -> Result<PlannedOutcome, PlanError> {
+            self.plan(snapshot, &PlannerConfig::default())
+        }
+
+        fn estimate_step_time(
+            &self,
+            _plan: &malleus_core::ParallelizationPlan,
+            _snapshot: &ClusterSnapshot,
+        ) -> Option<f64> {
+            None
+        }
+    }
+
+    /// Regression (leader-failure hardening): a leader panicking mid-plan
+    /// used to publish a synthetic `Internal` error to every coalesced
+    /// follower.  Followers must instead observe the abort and fall back to
+    /// an independent computation that succeeds.
+    #[test]
+    fn followers_survive_a_leader_panic_by_recomputing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let service = Arc::new(PlanService::new(ServiceConfig::default()));
+        let release = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let calls = Arc::new(AtomicUsize::new(0));
+        {
+            let (release, calls) = (Arc::clone(&release), Arc::clone(&calls));
+            service.register_backend(
+                BackendId::Megatron,
+                Arc::new(move |_, _| {
+                    Box::new(PanicOnFirstPlan {
+                        release: Arc::clone(&release),
+                        calls: Arc::clone(&calls),
+                    })
+                }),
+            );
+        }
+        let request = small_request(1.0);
+
+        let leader = {
+            let (service, request) = (Arc::clone(&service), request.clone());
+            std::thread::spawn(move || service.plan_backend(BackendId::Megatron, &request))
+        };
+        // Wait until the leader is inside the mock planner (its slot is in
+        // flight), then attach the follower.
+        while calls.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let follower = {
+            let (service, request) = (Arc::clone(&service), request.clone());
+            std::thread::spawn(move || service.plan_backend(BackendId::Megatron, &request))
+        };
+        // Wait until the follower has coalesced onto the leader's slot, then
+        // release the leader into its panic.
+        while service.metrics().coalesced == 0 {
+            std::thread::yield_now();
+        }
+        {
+            let (flag, released) = &*release;
+            *flag.lock().unwrap() = true;
+            released.notify_all();
+        }
+
+        assert!(leader.join().is_err(), "leader must have panicked");
+        let outcome = follower
+            .join()
+            .unwrap()
+            .expect("follower must recompute after the leader aborts, not inherit an error");
+        assert_eq!(outcome.description, "mock");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            2,
+            "leader + follower fallback"
+        );
+        // The slot is retired and the follower's recomputation is cached.
+        assert_eq!(service.inflight_plans(), 0);
+        let served = service
+            .plan_backend(BackendId::Megatron, &request)
+            .expect("cached");
+        assert!(Arc::ptr_eq(&served, &outcome));
     }
 
     #[test]

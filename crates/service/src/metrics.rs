@@ -31,6 +31,7 @@ pub(crate) struct MetricsRecorder {
     pub planner_invocations: AtomicU64,
     pub evictions: AtomicU64,
     pub rejected: AtomicU64,
+    pub timed_out: AtomicU64,
     /// Per-backend counter breakout, indexed by [`BackendId::index`].
     per_backend: Vec<BackendCounters>,
     next_stripe: AtomicU64,
@@ -56,6 +57,7 @@ impl Default for MetricsRecorder {
             planner_invocations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
             per_backend: (0..BackendId::ALL.len())
                 .map(|_| BackendCounters::default())
                 .collect(),
@@ -116,6 +118,7 @@ impl MetricsRecorder {
             planner_invocations: self.planner_invocations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
             queue_depth,
             active_plans,
             p50_service_time: percentile(&samples, 0.50),
@@ -182,10 +185,13 @@ pub struct ServiceMetrics {
     /// Actual `Planner::plan` invocations (≤ misses; fingerprint-collision
     /// recomputations are counted here too).
     pub planner_invocations: u64,
-    /// Cache entries displaced by LRU eviction.
+    /// Cache entries displaced by LRU/byte-budget eviction or TTL expiry.
     pub evictions: u64,
     /// Requests rejected by the admission gate (backpressure).
     pub rejected: u64,
+    /// Requests that timed out waiting in the admission queue
+    /// (`queue_wait_timeout`).
+    pub timed_out: u64,
     /// Requests currently waiting for an admission permit.
     pub queue_depth: usize,
     /// Planner invocations currently executing.

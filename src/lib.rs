@@ -36,7 +36,8 @@
 //! | [`core`] | the Malleus planner (grouping, orchestration, assignment, migration) |
 //! | [`sim`] | 1F1B / ZeRO training-step simulator, migration & restart costs |
 //! | [`runtime`] | profiler, executor, asynchronous re-planning, training sessions |
-//! | [`service`] | multi-tenant planning service: sharded plan cache, request coalescing |
+//! | [`service`] | multi-tenant planning service: sharded plan cache, coalescing, socket daemon |
+//! | [`wire`] | hand-rolled length-prefixed binary codec for the standalone plan server |
 //! | [`baselines`] | Megatron-LM, DeepSpeed, restart variants, Oobleck, theoretic optimum |
 
 pub use malleus_baselines as baselines;
@@ -47,6 +48,7 @@ pub use malleus_runtime as runtime;
 pub use malleus_service as service;
 pub use malleus_sim as sim;
 pub use malleus_solver as solver;
+pub use malleus_wire as wire;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
@@ -69,11 +71,13 @@ pub mod prelude {
         BackendReplan, Executor, Profiler, SessionReport, TrainingSession,
     };
     pub use malleus_service::{
-        BackendMetrics, PlanRequest, PlanService, ServiceConfig, ServiceError, ServiceMetrics,
+        BackendMetrics, ClientConfig, KeyedRequest, L1Stats, PlanClient, PlanRequest, PlanServer,
+        PlanService, PlanTransport, ServerConfig, ServiceConfig, ServiceError, ServiceMetrics,
     };
     pub use malleus_sim::{
         migration_time, restart_time, simulate_step, simulate_zero3_step, StepReport,
         TrainingSimulator, Zero3Config,
     };
     pub use malleus_solver::{divide_pipelines, solve_minmax_allocation, DivisionProblem};
+    pub use malleus_wire::{Wire, WireError};
 }
