@@ -84,7 +84,7 @@ impl DeepSpeedPlanner {
         let n = gpus.len();
         let mut best: Option<(DeepSpeedConfig, f64)> = None;
         for sp in [1u32, 2, 4, 8] {
-            if n % sp as usize != 0 {
+            if !n.is_multiple_of(sp as usize) {
                 continue;
             }
             let dp = n / sp as usize;

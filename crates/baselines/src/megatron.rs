@@ -90,7 +90,10 @@ impl MegatronPlanner {
         if needed > gpus.len() || config.tp > self.gpus_per_node {
             return None;
         }
-        if self.global_batch_size % (config.dp as u64 * config.micro_batch_size) != 0 {
+        if !self
+            .global_batch_size
+            .is_multiple_of(config.dp as u64 * config.micro_batch_size)
+        {
             return None;
         }
         let plan = ParallelizationPlan::uniform(
@@ -134,11 +137,11 @@ impl MegatronPlanner {
             }
             for pp in 1..=(n / tp as usize).min(self.coeffs.spec.num_layers as usize) {
                 let denom = tp as usize * pp;
-                if n % denom != 0 {
+                if !n.is_multiple_of(denom) {
                     continue;
                 }
                 let dp = n / denom;
-                if self.global_batch_size % dp as u64 != 0 {
+                if !self.global_batch_size.is_multiple_of(dp as u64) {
                     continue;
                 }
                 for mbs in [1u64, 2, 4, 8] {

@@ -61,8 +61,6 @@ pub fn assign_layers(
         if caps.iter().any(|c| c.is_none()) {
             return None;
         }
-        let caps: Vec<Option<u64>> = caps.into_iter().map(|c| c).collect();
-
         let layers: Vec<u64> = if uniform {
             let base = num_layers / pp as u64;
             let extra = num_layers % pp as u64;
@@ -84,7 +82,7 @@ pub fn assign_layers(
             }
         };
 
-        if !uniform && layers.iter().any(|&l| l == 0) {
+        if !uniform && layers.contains(&0) {
             // Drop zero-layer stages (their straggling rate is too high to be
             // worth any work) and re-solve with the shorter pipeline, whose
             // memory coefficients are more favourable.

@@ -18,6 +18,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::plan::TpGroup;
 
+/// TP groups under construction: each inner vec is one group's (gpu, rate) members.
+type RatedGroups = Vec<Vec<(GpuId, f64)>>;
+
 /// A grouping result: the TP groups formed over the whole cluster for one
 /// candidate maximum TP degree.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,7 +161,7 @@ fn group_node(
                 .filter(|(id, _)| *id != gpu)
                 .collect();
             rest.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-            let mut best: Option<(f64, Vec<Vec<(GpuId, f64)>>)> = None;
+            let mut best: Option<(f64, RatedGroups)> = None;
             for composition in power_of_two_compositions(rest.len(), max_tp) {
                 let mut candidate_groups: Vec<Vec<(GpuId, f64)>> = Vec::new();
                 let mut offset = 0usize;

@@ -52,6 +52,6 @@ pub use delta::{
 pub use error::PlanError;
 pub use grouping::{group_cluster, GroupingResult};
 pub use migration::{plan_migration, MigrationPlan, SliceMove};
-pub use parallel::{GroupingCache, Parallelism, ParseParallelismError};
+pub use parallel::{GroupingCache, Parallelism, ParseParallelismError, RankedGuard, RankedMutex};
 pub use plan::{ParallelizationPlan, PipelinePlan, StagePlan, TpGroup};
 pub use planner::{PlanOutcome, PlanTiming, Planner, PlannerConfig};

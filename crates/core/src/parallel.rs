@@ -42,28 +42,24 @@ use malleus_model::ProfiledCoefficients;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Environment variable overriding [`Parallelism::Auto`] resolution
 /// (`"auto"` or a worker count); used by CI to pin the planner's thread count.
 pub const PARALLELISM_ENV: &str = "MALLEUS_PLANNER_PARALLELISM";
 
 /// Worker-count knob for the candidate-lattice fan-out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Parallelism {
     /// Use every available core (`std::thread::available_parallelism`),
     /// honouring the `MALLEUS_PLANNER_PARALLELISM` environment override.
+    #[default]
     Auto,
     /// Use exactly this many workers.  `Fixed(1)` is the serial reference
     /// path — the oracle the deterministic-equivalence harness compares
     /// against.
     Fixed(usize),
-}
-
-impl Default for Parallelism {
-    fn default() -> Self {
-        Parallelism::Auto
-    }
 }
 
 impl Parallelism {
@@ -175,8 +171,13 @@ impl CachedGrouping {
 /// sees the same memo.
 #[derive(Debug, Clone, Default)]
 pub struct GroupingCache {
-    entries: Arc<Mutex<HashMap<(u64, u32, u64, bool), Arc<CachedGrouping>>>>,
+    entries: Arc<Mutex<GroupingMap>>,
 }
+
+/// Memo key: (snapshot fingerprint, max TP degree, straggler threshold bits,
+/// splitting flag).
+type GroupingKey = (u64, u32, u64, bool);
+type GroupingMap = HashMap<GroupingKey, Arc<CachedGrouping>>;
 
 /// Entries beyond this count flush the cache: re-planning traces revisit only
 /// a handful of recent snapshots, so an unbounded memo would just leak.
@@ -288,6 +289,188 @@ where
         .into_iter()
         .map(|slot| slot.into_inner().expect("every index was claimed"))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// RankedMutex: debug-mode lock-rank runtime checker.
+//
+// The dynamic complement to `malleus-lint`'s static ML001 pass.  Every
+// ranked lock carries the rank declared for it in
+// `crates/lint/lock_order.toml` (the lint cross-checks the literal at the
+// construction site against the manifest).  In debug builds each thread
+// records its acquisition stack; taking a lock whose rank is not strictly
+// greater than the rank on top of the stack panics immediately, turning a
+// potential deadlock into a deterministic test failure.  Release builds
+// compile the checks out entirely.
+// ---------------------------------------------------------------------------
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Stack of (rank, name) for every `RankedMutex` this thread holds.
+    static HELD_RANKS: std::cell::RefCell<Vec<(u32, &'static str)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+#[cfg(debug_assertions)]
+fn check_and_push_rank(rank: u32, name: &'static str) {
+    HELD_RANKS.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(&(top_rank, top_name)) = held.last() {
+            assert!(
+                top_rank < rank,
+                "lock-rank violation: acquiring `{name}` (rank {rank}) while holding \
+                 `{top_name}` (rank {top_rank}); ranks must strictly increase \
+                 (see crates/lint/lock_order.toml)"
+            );
+        }
+        held.push((rank, name));
+    });
+}
+
+#[cfg(debug_assertions)]
+fn pop_rank(rank: u32, name: &'static str) {
+    HELD_RANKS.with(|held| {
+        let mut held = held.borrow_mut();
+        // Guards may be released out of LIFO order (that is legal); remove
+        // the most recent matching entry rather than blindly popping.
+        if let Some(i) = held.iter().rposition(|&(r, n)| r == rank && n == name) {
+            held.remove(i);
+        }
+    });
+}
+
+/// A `Mutex` that participates in the workspace lock ranking.
+///
+/// `lock()` recovers from poisoning (the protected state is valid at every
+/// intermediate point for all current users — see `lock_or_poisoned` in
+/// `malleus-service` for the recovery rationale) and, in debug builds only,
+/// panics when acquired out of rank order.  Condvar interaction goes through
+/// [`RankedMutex::wait`] / [`RankedMutex::wait_timeout`], which model the
+/// wait as a release + rank-checked reacquisition — exactly what the OS does.
+#[derive(Debug)]
+pub struct RankedMutex<T> {
+    rank: u32,
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> RankedMutex<T> {
+    /// `rank` and `name` must match the lock's entry in
+    /// `crates/lint/lock_order.toml`; `malleus-lint` verifies the literals.
+    pub const fn new(rank: u32, name: &'static str, value: T) -> Self {
+        Self {
+            rank,
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Declared rank (strictly increasing along any acquisition chain).
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Manifest name, `"Struct.field"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquire, recovering from poisoning.  Panics in debug builds if the
+    /// calling thread already holds a lock of equal or greater rank.
+    pub fn lock(&self) -> RankedGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        check_and_push_rank(self.rank, self.name);
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        RankedGuard {
+            lock: self,
+            guard: Some(guard),
+        }
+    }
+
+    /// Condvar wait: releases the lock (popping the rank stack), parks on
+    /// `condvar`, and re-acquires with a fresh rank check on wake.
+    pub fn wait<'a>(&'a self, condvar: &Condvar, guard: RankedGuard<'a, T>) -> RankedGuard<'a, T> {
+        let inner = guard.release_for_wait(self);
+        let inner = condvar
+            .wait(inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.adopt(inner)
+    }
+
+    /// [`wait`](Self::wait) with a timeout; the boolean is `true` when the
+    /// wait timed out.
+    pub fn wait_timeout<'a>(
+        &'a self,
+        condvar: &Condvar,
+        guard: RankedGuard<'a, T>,
+        timeout: Duration,
+    ) -> (RankedGuard<'a, T>, bool) {
+        let inner = guard.release_for_wait(self);
+        let (inner, result) = condvar
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (self.adopt(inner), result.timed_out())
+    }
+
+    /// Wrap a bare guard re-acquired after a condvar wait, re-running the
+    /// rank check.
+    fn adopt<'a>(&'a self, guard: std::sync::MutexGuard<'a, T>) -> RankedGuard<'a, T> {
+        #[cfg(debug_assertions)]
+        check_and_push_rank(self.rank, self.name);
+        RankedGuard {
+            lock: self,
+            guard: Some(guard),
+        }
+    }
+}
+
+/// RAII guard for a [`RankedMutex`]; releasing it pops the thread's rank
+/// stack in debug builds.
+#[derive(Debug)]
+pub struct RankedGuard<'a, T> {
+    lock: &'a RankedMutex<T>,
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T> RankedGuard<'a, T> {
+    /// Hand the inner guard to a condvar wait, popping the rank stack (the
+    /// mutex is genuinely unlocked while the thread is parked).
+    fn release_for_wait(mut self, owner: &RankedMutex<T>) -> std::sync::MutexGuard<'a, T> {
+        assert!(
+            std::ptr::eq(self.lock, owner),
+            "guard for `{}` passed to wait on `{}`",
+            self.lock.name,
+            owner.name
+        );
+        #[cfg(debug_assertions)]
+        pop_rank(self.lock.rank, self.lock.name);
+        self.guard.take().expect("guard present until released")
+    }
+}
+
+impl<T> std::ops::Deref for RankedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until released")
+    }
+}
+
+impl<T> std::ops::DerefMut for RankedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until released")
+    }
+}
+
+impl<T> Drop for RankedGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.guard.take().is_some() {
+            #[cfg(debug_assertions)]
+            pop_rank(self.lock.rank, self.lock.name);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -448,5 +631,90 @@ mod tests {
         let b = cache.get_or_compute(&cluster.snapshot(), &coeffs, 8, 1.05, true);
         assert_ne!(*a, *b);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn ranked_mutex_allows_increasing_ranks() {
+        let low = RankedMutex::new(10, "test.low", 1u32);
+        let high = RankedMutex::new(20, "test.high", 2u32);
+        let a = low.lock();
+        let b = high.lock();
+        assert_eq!(*a + *b, 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn ranked_mutex_panics_on_inverted_acquisition() {
+        let result = std::panic::catch_unwind(|| {
+            let low = RankedMutex::new(10, "test.low", ());
+            let high = RankedMutex::new(20, "test.high", ());
+            let _b = high.lock();
+            let _a = low.lock(); // rank 10 while holding rank 20: inversion
+        });
+        assert!(result.is_err(), "inverted acquisition must panic in debug");
+        // The unwinding must have cleaned the thread-local stack: a fresh
+        // well-ordered acquisition on this thread still works.
+        let low = RankedMutex::new(10, "test.low", ());
+        let _a = low.lock();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn ranked_mutex_panics_on_same_rank_reentry() {
+        let result = std::panic::catch_unwind(|| {
+            let a = RankedMutex::new(10, "test.a", ());
+            let b = RankedMutex::new(10, "test.b", ());
+            let _ga = a.lock();
+            let _gb = b.lock(); // equal rank: would deadlock under contention
+        });
+        assert!(result.is_err(), "equal-rank nesting must panic in debug");
+    }
+
+    #[test]
+    fn ranked_mutex_wait_timeout_releases_and_reacquires() {
+        let lock = Arc::new(RankedMutex::new(10, "test.waited", 0u32));
+        let cv = Arc::new(Condvar::new());
+        let guard = lock.lock();
+        let (guard, timed_out) = lock.wait_timeout(&cv, guard, Duration::from_millis(5));
+        assert!(timed_out);
+        drop(guard);
+
+        // A notified wait observes the other thread's mutation: the lock was
+        // genuinely released while parked.
+        let waiter = {
+            let lock = Arc::clone(&lock);
+            let cv = Arc::clone(&cv);
+            std::thread::spawn(move || {
+                let mut guard = lock.lock();
+                while *guard == 0 {
+                    guard = lock.wait(&cv, guard);
+                }
+                *guard
+            })
+        };
+        // Spin until the waiter holds/parks, then publish.
+        loop {
+            let mut guard = lock.lock();
+            *guard = 7;
+            drop(guard);
+            cv.notify_all();
+            if waiter.is_finished() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(waiter.join().expect("waiter"), 7);
+    }
+
+    #[test]
+    fn ranked_mutex_recovers_from_poison() {
+        let lock = Arc::new(RankedMutex::new(10, "test.poisoned", 5u32));
+        let lock2 = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = lock2.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert_eq!(*lock.lock(), 5, "poisoned lock recovers to valid state");
     }
 }

@@ -262,7 +262,9 @@ impl ParallelizationPlan {
             });
         }
         let total_micro_batches = global_batch_size / micro_batch_size;
-        if total_micro_batches % dp as u64 != 0 || global_batch_size % micro_batch_size != 0 {
+        if !total_micro_batches.is_multiple_of(dp as u64)
+            || !global_batch_size.is_multiple_of(micro_batch_size)
+        {
             return Err(PlanError::NoFeasiblePlan {
                 reason: format!(
                     "global batch {global_batch_size} not divisible by dp {dp} × micro-batch {micro_batch_size}"

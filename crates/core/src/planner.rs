@@ -159,9 +159,13 @@ impl PartialEq for PlanOutcome {
     /// warm-start state (its reuse statistics depend on memo history, not on
     /// what was planned) and is excluded.
     fn eq(&self, other: &Self) -> bool {
+        // Bitwise float comparison (ML003): outcome equality backs the
+        // byte-identity oracle checks, where `==` would declare +0.0 == -0.0
+        // equal and NaN unequal to itself — both wrong for "same bytes".
         self.plan == other.plan
-            && self.estimated_step_time == other.estimated_step_time
-            && self.estimated_step_time_simplified == other.estimated_step_time_simplified
+            && self.estimated_step_time.to_bits() == other.estimated_step_time.to_bits()
+            && self.estimated_step_time_simplified.to_bits()
+                == other.estimated_step_time_simplified.to_bits()
             && self.chosen_tp == other.chosen_tp
             && self.dp == other.dp
             && self.timing == other.timing
@@ -427,6 +431,7 @@ impl Planner {
             timing,
         };
 
+        // malleus-lint: allow(ML004, reason = "wall-clock timing is observability-only; it feeds PlanTiming, never plan selection")
         let t0 = Instant::now();
         let division = match divide_groups(
             &self.cost,
@@ -445,6 +450,7 @@ impl Planner {
         };
         timing.division += t0.elapsed();
 
+        // malleus-lint: allow(ML004, reason = "wall-clock timing is observability-only; it feeds PlanTiming, never plan selection")
         let t0 = Instant::now();
         let mut assignments = Vec::with_capacity(dp);
         let mut feasible = true;
@@ -475,6 +481,7 @@ impl Planner {
             );
         }
 
+        // malleus-lint: allow(ML004, reason = "wall-clock timing is observability-only; it feeds PlanTiming, never plan selection")
         let t0 = Instant::now();
         let objectives: Vec<f64> = assignments.iter().map(|a| a.objective).collect();
         let Some(micro_batches) = assign_data(
@@ -487,7 +494,7 @@ impl Planner {
         };
         // A pipeline with zero micro-batches would idle an entire replica;
         // reject such degenerate splits.
-        if micro_batches.iter().any(|&m| m == 0) {
+        if micro_batches.contains(&0) {
             timing.assignment += t0.elapsed();
             return failed(
                 Some(format!(
@@ -592,7 +599,7 @@ impl Planner {
             .candidate_micro_batch_sizes
             .iter()
             .copied()
-            .filter(|&b| b > 0 && self.config.global_batch_size % b == 0)
+            .filter(|&b| b > 0 && self.config.global_batch_size.is_multiple_of(b))
             .collect();
         if b_candidates.is_empty() {
             return Err(PlanError::NoFeasiblePlan {
@@ -609,6 +616,7 @@ impl Planner {
         let tp_degrees = &self.config.candidate_tp_degrees;
         let grouped: Vec<(Arc<GroupingResult>, Duration)> =
             fan_out(tp_degrees.len(), workers.min(tp_degrees.len()), |i| {
+                // malleus-lint: allow(ML004, reason = "wall-clock timing is observability-only; it feeds PlanTiming, never plan selection")
                 let t0 = Instant::now();
                 let grouping = self.grouping_memo.get_or_compute(
                     snapshot,
@@ -767,6 +775,31 @@ mod tests {
                 ..PlannerConfig::default()
             },
         )
+    }
+
+    /// Regression for an ML003 finding: `PlanOutcome::eq` compared its step
+    /// times with float `==`, which is the wrong relation for byte-identity
+    /// oracles — `+0.0 == -0.0` holds despite different bytes, and
+    /// `NaN != NaN` despite identical bytes.  Equality must be bitwise.
+    #[test]
+    fn outcome_equality_is_bitwise_over_step_times() {
+        let cluster = Cluster::homogeneous(2, 8);
+        let p = planner(ModelSpec::llama2_32b(), 64);
+        let outcome = p.plan(&cluster.snapshot()).expect("plan");
+
+        let mut nan_a = outcome.clone();
+        nan_a.estimated_step_time = f64::NAN;
+        let nan_b = nan_a.clone();
+        assert_eq!(nan_a, nan_b, "bit-identical NaN outcomes must be equal");
+
+        let mut pos_zero = outcome.clone();
+        pos_zero.estimated_step_time = 0.0;
+        let mut neg_zero = pos_zero.clone();
+        neg_zero.estimated_step_time = -0.0;
+        assert_ne!(
+            pos_zero, neg_zero,
+            "+0.0 and -0.0 encode differently and must not compare equal"
+        );
     }
 
     #[test]
@@ -982,7 +1015,7 @@ mod tests {
         let initial = delta.plan(&cluster.snapshot()).expect("initial plan");
         let lattice = initial.lattice.as_ref().expect("lattice persisted");
         assert!(!lattice.delta, "initial plan is full enumeration");
-        assert!(delta.candidate_memo().len() > 0, "memo populated");
+        assert!(!delta.candidate_memo().is_empty(), "memo populated");
 
         // Novel drift: byte-identical to a fresh full-enumeration replan.
         let drifted = cluster.snapshot().with_rate(GpuId(3), 2.57);
@@ -1084,6 +1117,6 @@ mod tests {
         let p = planner(ModelSpec::llama2_32b(), 64);
         let outcome = p.plan(&cluster.snapshot()).expect("plan");
         let ratio = outcome.estimated_step_time / outcome.estimated_step_time_simplified;
-        assert!(ratio >= 1.0 && ratio < 1.3, "ratio {ratio}");
+        assert!((1.0..1.3).contains(&ratio), "ratio {ratio}");
     }
 }

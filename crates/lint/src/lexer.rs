@@ -1,0 +1,442 @@
+//! A hand-rolled Rust lexer: just enough tokenization for project lints.
+//!
+//! The lexer understands everything that can *hide* code from a naive text
+//! scan — line and (nested) block comments, string literals, raw strings
+//! (`r#".."#`), byte strings, char literals, and the char-vs-lifetime
+//! ambiguity — and splits the rest into identifier / number / punctuation
+//! tokens with line numbers.  It deliberately does not build a syntax tree:
+//! every diagnostic works on the token stream plus shallow structure
+//! (brace/paren depth), which keeps the pass dependency-free and fast.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `struct`, `unwrap`, ...).
+    Ident,
+    /// Numeric literal, including floats and exponents (`42`, `1.05`, `1e-12`).
+    Number,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-char operators the lints care about (`==`, `!=`,
+    /// `::`, `->`, `=>`, `..`, `..=`, `&&`, `||`) arrive as one token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block), kept separate from the code token stream so
+/// rules never match inside comments while the pragma parser still sees them.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Operators combined into a single token, longest first.
+const COMBINED: &[&str] = &["..=", "::", "==", "!=", "->", "=>", "..", "&&", "||"];
+
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < chars.len() {
+        let c = chars[i];
+
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+
+        // Block comment (Rust block comments nest).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Raw / byte string prefixes: r", r#, b", br", br#, rb is invalid.
+        if (c == 'r' || c == 'b') && raw_or_byte_string_start(&chars, i) {
+            let (token, consumed, newlines) = lex_prefixed_string(&chars, i);
+            out.tokens.push(Token {
+                kind: token,
+                text: chars[i..i + consumed].iter().collect(),
+                line,
+            });
+            line += newlines;
+            i += consumed;
+            continue;
+        }
+
+        // Byte char literal b'x'.
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            let (consumed, newlines) = lex_char_body(&chars, i + 1);
+            out.tokens.push(Token {
+                kind: TokenKind::Char,
+                text: chars[i..i + 1 + consumed].iter().collect(),
+                line,
+            });
+            line += newlines;
+            i += 1 + consumed;
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (is_ident(chars[i])) {
+                // Exponent sign: `1e-12`, `2.5E+7`.
+                if (chars[i] == 'e' || chars[i] == 'E')
+                    && !chars[start..i].iter().collect::<String>().starts_with("0x")
+                    && matches!(chars.get(i + 1), Some('+') | Some('-'))
+                    && chars.get(i + 2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+            // Fractional part — but not the `..` of a range and not a method
+            // call / tuple access on a literal (`1.max(2)`, `pair.0`).
+            if i < chars.len()
+                && chars[i] == '.'
+                && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                i += 1;
+                while i < chars.len() && is_ident(chars[i]) {
+                    if (chars[i] == 'e' || chars[i] == 'E')
+                        && matches!(chars.get(i + 1), Some('+') | Some('-'))
+                        && chars.get(i + 2).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: chars[start..i.min(chars.len())].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: '<ident-start> not immediately closed by '.
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = next.is_some_and(is_ident_start) && after != Some('\'');
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < chars.len() && is_ident(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                let (consumed, newlines) = lex_char_body(&chars, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: chars[i..i + consumed].iter().collect(),
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            continue;
+        }
+
+        // Combined operators, longest match first.
+        let mut matched = false;
+        for op in COMBINED {
+            let oplen = op.chars().count();
+            if chars[i..].len() >= oplen && chars[i..i + oplen].iter().collect::<String>() == **op {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += oplen;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    out
+}
+
+/// Does a raw/byte string start at `i` (which holds 'r' or 'b')?
+fn raw_or_byte_string_start(chars: &[char], i: usize) -> bool {
+    match chars[i] {
+        'r' => match chars.get(i + 1) {
+            Some('"') => true,
+            Some('#') => {
+                // r## ... " — any number of hashes then a quote.
+                let mut j = i + 1;
+                while chars.get(j) == Some(&'#') {
+                    j += 1;
+                }
+                chars.get(j) == Some(&'"')
+            }
+            _ => false,
+        },
+        'b' => match chars.get(i + 1) {
+            Some('"') => true,
+            Some('r') => raw_or_byte_string_start(chars, i + 1),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Lex a string starting with an `r` / `b` / `br` prefix at `i`.
+/// Returns (kind, chars consumed, newlines crossed).
+fn lex_prefixed_string(chars: &[char], i: usize) -> (TokenKind, usize, u32) {
+    let mut j = i;
+    while matches!(chars.get(j), Some('r') | Some('b')) {
+        j += 1;
+    }
+    let raw = chars[i..j].contains(&'r');
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(chars.get(j), Some(&'"'));
+    j += 1; // opening quote
+    let mut newlines = 0u32;
+    while j < chars.len() {
+        match chars[j] {
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            '\\' if !raw => j += 2,
+            '"' => {
+                // A raw string needs `hashes` trailing #s to close.
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && chars.get(k) == Some(&'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return (TokenKind::Str, k - i, newlines);
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (TokenKind::Str, j - i, newlines)
+}
+
+/// Lex a char literal starting at the opening quote `i`.
+/// Returns (chars consumed, newlines crossed).
+fn lex_char_body(chars: &[char], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => return (j + 1 - i, 0),
+            _ => j += 1,
+        }
+    }
+    (j - i, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_are_not_code_tokens() {
+        let l = lex("a // unwrap() here\n/* panic! *//*/* nested */*/ b");
+        let toks: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(toks, ["a", "b"]);
+        assert_eq!(l.comments.len(), 3);
+    }
+
+    #[test]
+    fn strings_swallow_operators_and_braces() {
+        assert_eq!(
+            texts(r#"let s = "a == { b"; x"#),
+            ["let", "s", "=", "\"a == { b\"", ";", "x"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "r#\"embedded \" quote\"# y";
+        let t = texts(src);
+        assert_eq!(t.last().map(String::as_str), Some("y"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("'a' 'static x '\\n'");
+        let kinds: Vec<TokenKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Ident,
+                TokenKind::Char
+            ]
+        );
+    }
+
+    #[test]
+    fn float_and_exponent_literals() {
+        let l = lex("1.05 1e-12 0x1f 7 ..");
+        let kinds: Vec<(TokenKind, String)> =
+            l.tokens.into_iter().map(|t| (t.kind, t.text)).collect();
+        assert_eq!(kinds[0], (TokenKind::Number, "1.05".into()));
+        assert_eq!(kinds[1], (TokenKind::Number, "1e-12".into()));
+        assert_eq!(kinds[2], (TokenKind::Number, "0x1f".into()));
+        assert_eq!(kinds[3], (TokenKind::Number, "7".into()));
+        assert_eq!(kinds[4], (TokenKind::Punct, "..".into()));
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_floats() {
+        assert_eq!(texts("0..10"), ["0", "..", "10"]);
+        assert_eq!(texts("a[..4]"), ["a", "[", "..", "4", "]"]);
+    }
+
+    #[test]
+    fn combined_operators() {
+        assert_eq!(
+            texts("a == b != c :: d -> e => f"),
+            ["a", "==", "b", "!=", "c", "::", "d", "->", "e", "=>", "f"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\"multi\nline\"\nc");
+        let c = l.tokens.iter().find(|t| t.text == "c").unwrap();
+        assert_eq!(c.line, 5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Parser for `crates/lint/lock_order.toml` — a strict TOML subset.
+//!
+//! The container has no crates.io access, so the manifest grammar is kept to
+//! what a line-based parser handles unambiguously: `[section]` headers,
+//! `key = value` pairs with optionally-quoted keys, integer or quoted-string
+//! values, and `#` comments.
+
+use std::collections::BTreeMap;
+
+/// The declared lock ranking plus call-site resolution helpers.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// `"Struct.field"` → rank.  Locks may only be acquired in strictly
+    /// increasing rank order while other locks are held.
+    pub ranks: BTreeMap<String, u32>,
+    /// `"Struct.field"` (a `Condvar`) → the `"Struct.field"` mutex it pairs
+    /// with.  Condvars are never acquired, but every one must be declared so
+    /// the extracted lock graph provably covers them.
+    pub condvars: BTreeMap<String, String>,
+    /// Free functions that acquire a lock passed as their first argument
+    /// (`lock_or_poisoned` → `"lock"`); the value names the equivalent
+    /// method for reporting.
+    pub lock_fns: BTreeMap<String, String>,
+    /// `"Struct.method"` → field: accessor methods whose return value is one
+    /// of the struct's locks (`ShardedPlanCache.shard` → `shards`).
+    pub aliases: BTreeMap<String, String>,
+}
+
+pub fn parse(text: &str) -> Result<Manifest, String> {
+    let mut manifest = Manifest::default();
+    let mut section = String::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lock_order.toml:{lineno}: expected `key = value`"));
+        };
+        let key = unquote(key.trim());
+        let value = value.trim();
+        match section.as_str() {
+            "ranks" => {
+                let rank: u32 = value
+                    .parse()
+                    .map_err(|_| format!("lock_order.toml:{lineno}: rank must be an integer"))?;
+                if manifest.ranks.insert(key.clone(), rank).is_some() {
+                    return Err(format!(
+                        "lock_order.toml:{lineno}: duplicate rank for `{key}`"
+                    ));
+                }
+            }
+            "condvars" => {
+                manifest.condvars.insert(key, unquote(value));
+            }
+            "lock_fns" => {
+                manifest.lock_fns.insert(key, unquote(value));
+            }
+            "aliases" => {
+                manifest.aliases.insert(key, unquote(value));
+            }
+            other => {
+                return Err(format!(
+                    "lock_order.toml:{lineno}: unknown section `[{other}]`"
+                ));
+            }
+        }
+    }
+
+    // Distinct locks must have distinct ranks, or "strictly increasing"
+    // stops being a total order over the manifest.
+    let mut seen: BTreeMap<u32, &String> = BTreeMap::new();
+    for (name, &rank) in &manifest.ranks {
+        if let Some(prev) = seen.insert(rank, name) {
+            return Err(format!(
+                "lock_order.toml: `{prev}` and `{name}` share rank {rank}"
+            ));
+        }
+    }
+    // Condvar pairings must reference ranked mutexes.
+    for (cv, mutex) in &manifest.condvars {
+        if !manifest.ranks.contains_key(mutex) {
+            return Err(format!(
+                "lock_order.toml: condvar `{cv}` pairs with unranked lock `{mutex}`"
+            ));
+        }
+    }
+    Ok(manifest)
+}
+
+/// Drop a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(s: &str) -> String {
+    s.trim().trim_matches('"').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_sections() {
+        let m = parse(
+            r#"
+# comment
+[ranks]
+"AdmissionGate.state" = 10
+"InFlightTable.slots" = 20
+
+[condvars]
+"AdmissionGate.freed" = "AdmissionGate.state"
+
+[lock_fns]
+lock_or_poisoned = "lock"
+
+[aliases]
+"ShardedPlanCache.shard" = "shards"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(m.ranks["AdmissionGate.state"], 10);
+        assert_eq!(m.condvars["AdmissionGate.freed"], "AdmissionGate.state");
+        assert_eq!(m.lock_fns["lock_or_poisoned"], "lock");
+        assert_eq!(m.aliases["ShardedPlanCache.shard"], "shards");
+    }
+
+    #[test]
+    fn duplicate_ranks_are_rejected() {
+        let err = parse("[ranks]\n\"A.x\" = 5\n\"B.y\" = 5\n").unwrap_err();
+        assert!(err.contains("share rank"));
+    }
+
+    #[test]
+    fn condvar_must_pair_with_ranked_lock() {
+        let err = parse("[condvars]\n\"A.cv\" = \"A.missing\"\n").unwrap_err();
+        assert!(err.contains("unranked"));
+    }
+}

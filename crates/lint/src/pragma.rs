@@ -1,0 +1,175 @@
+//! `// malleus-lint: allow(MLnnn, reason = "...")` pragma parsing.
+//!
+//! A pragma suppresses the listed diagnostic codes on its *target line*: the
+//! pragma's own line when it trails code, otherwise the next line that holds
+//! code tokens.  The `reason` clause is mandatory — an allow without a
+//! non-empty reason is itself a finding (ML005), so suppressions stay
+//! reviewable.  ML005 findings are never suppressible.
+
+use crate::lexer::Lexed;
+
+/// A parsed, well-formed allow pragma.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line whose findings are suppressed.
+    pub target_line: u32,
+    /// Diagnostic codes suppressed (`"ML001"`, ...).
+    pub codes: Vec<String>,
+}
+
+/// A malformed pragma (ML005 material).
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Scan a lexed file for pragmas.
+pub fn parse_pragmas(lexed: &Lexed) -> (Vec<Allow>, Vec<PragmaError>) {
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+
+    // Lines holding at least one code token, for target-line resolution.
+    let code_lines: std::collections::BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+
+    for comment in &lexed.comments {
+        let Some(rest) = comment
+            .text
+            .find("malleus-lint:")
+            .map(|i| comment.text[i + "malleus-lint:".len()..].trim())
+        else {
+            continue;
+        };
+        let line = comment.line;
+        match parse_allow_clause(rest) {
+            Ok(codes) => {
+                let target_line = if code_lines.contains(&line) {
+                    line
+                } else {
+                    // Pragma on its own line: target the next code line.
+                    match code_lines.range((line + 1)..).next() {
+                        Some(&l) => l,
+                        None => {
+                            errors.push(PragmaError {
+                                line,
+                                message: "allow pragma has no following code line to apply to"
+                                    .into(),
+                            });
+                            continue;
+                        }
+                    }
+                };
+                allows.push(Allow { target_line, codes });
+            }
+            Err(message) => errors.push(PragmaError { line, message }),
+        }
+    }
+    (allows, errors)
+}
+
+/// Parse `allow(ML001, ML002, reason = "...")`; returns the codes.
+fn parse_allow_clause(rest: &str) -> Result<Vec<String>, String> {
+    let rest = rest.trim();
+    let Some(inner) = rest
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.rfind(')').map(|i| &r[..i]))
+    else {
+        return Err(format!(
+            "malformed malleus-lint pragma: expected `allow(MLnnn, reason = \"...\")`, found `{rest}`"
+        ));
+    };
+
+    let (codes_part, reason_part) = match inner.find("reason") {
+        Some(i) => (
+            inner[..i].trim().trim_end_matches(',').trim(),
+            Some(inner[i + "reason".len()..].trim()),
+        ),
+        None => (inner.trim(), None),
+    };
+
+    let mut codes = Vec::new();
+    for code in codes_part.split(',') {
+        let code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        let valid = code.len() == 5
+            && code.starts_with("ML")
+            && code[2..].chars().all(|c| c.is_ascii_digit());
+        if !valid {
+            return Err(format!(
+                "allow pragma names invalid diagnostic code `{code}`"
+            ));
+        }
+        codes.push(code.to_string());
+    }
+    if codes.is_empty() {
+        return Err("allow pragma names no diagnostic codes".into());
+    }
+
+    let Some(reason) = reason_part else {
+        return Err(format!(
+            "allow({}) is missing the mandatory `reason = \"...\"` clause",
+            codes.join(", ")
+        ));
+    };
+    let reason = reason.trim_start_matches('=').trim();
+    let quoted = reason.len() >= 2 && reason.starts_with('"') && reason.ends_with('"');
+    if !quoted || reason.trim_matches('"').trim().is_empty() {
+        return Err(format!(
+            "allow({}) has an empty or unquoted reason; suppressions must say why",
+            codes.join(", ")
+        ));
+    }
+    Ok(codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_pragma_targets_its_own_line() {
+        let l = lex("let t = now(); // malleus-lint: allow(ML004, reason = \"timing only\")\n");
+        let (allows, errors) = parse_pragmas(&l);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].target_line, 1);
+        assert_eq!(allows[0].codes, ["ML004"]);
+    }
+
+    #[test]
+    fn standalone_pragma_targets_next_code_line() {
+        let src = "// malleus-lint: allow(ML003, reason = \"sentinel compare\")\n\n// other\nlet x = a == b;\n";
+        let (allows, errors) = parse_pragmas(&lex(src));
+        assert!(errors.is_empty());
+        assert_eq!(allows[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let (allows, errors) = parse_pragmas(&lex("// malleus-lint: allow(ML001)\nlet x = 1;\n"));
+        assert!(allows.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_an_error() {
+        let src = "// malleus-lint: allow(ML002, reason = \"  \")\nlet x = 1;\n";
+        let (allows, errors) = parse_pragmas(&lex(src));
+        assert!(allows.is_empty());
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn multiple_codes_parse() {
+        let src = "// malleus-lint: allow(ML002, ML003, reason = \"fixture\")\nlet x = 1;\n";
+        let (allows, errors) = parse_pragmas(&lex(src));
+        assert!(errors.is_empty());
+        assert_eq!(allows[0].codes, ["ML002", "ML003"]);
+    }
+}

@@ -1,0 +1,238 @@
+//! ML003 — float byte-identity.
+//!
+//! Plan equality and cache keys must be byte-identical across replicas: the
+//! delta-replanning oracle compares `PlanOutcome`s bitwise, and a tolerant
+//! (or IEEE `==`) comparison would let two replicas disagree about "same
+//! plan" whenever a NaN or -0.0 sneaks in.  This pass flags `==`/`!=` whose
+//! operands involve floats, and `.hash(..)` called on a float field, unless
+//! the comparison goes through `to_bits()`.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{is_ident, skip_delimited};
+use crate::Finding;
+
+/// Harvest the names of struct fields whose declared type is exactly `f64`
+/// or `f32` (directly, not behind containers — those compare structurally
+/// through their own `PartialEq`).
+pub fn collect_float_fields(tokens: &[Token]) -> BTreeSet<String> {
+    let mut fields = BTreeSet::new();
+    let mut i = 0usize;
+    while i + 3 < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident
+            && tokens[i + 1].text == ":"
+            && (is_ident(&tokens[i + 2], "f64") || is_ident(&tokens[i + 2], "f32"))
+            && tokens
+                .get(i + 3)
+                .is_some_and(|t| t.text == "," || t.text == "}" || t.text == ")")
+        {
+            fields.insert(tokens[i].text.clone());
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Is this literal a float (`1.05`, `1e-12`, `3f64`)?
+fn is_float_literal(text: &str) -> bool {
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || (text.contains(['e', 'E'])
+            && !text.starts_with("0x")
+            && !text.starts_with("0b")
+            && !text.starts_with("0o"))
+}
+
+/// Walk one operand chain outward from an `==`/`!=` at `op`, in `dir`
+/// (-1 = left, +1 = right).  Returns (mentions_float, mentions_to_bits).
+fn scan_operand(
+    tokens: &[Token],
+    op: usize,
+    dir: isize,
+    float_fields: &BTreeSet<String>,
+) -> (bool, bool) {
+    let mut float = false;
+    let mut bits = false;
+    let mut j = op as isize + dir;
+    let mut steps = 0;
+    while j >= 0 && (j as usize) < tokens.len() && steps < 24 {
+        let t = &tokens[j as usize];
+        match t.kind {
+            TokenKind::Ident => {
+                if t.text == "to_bits" {
+                    bits = true;
+                } else if float_fields.contains(&t.text) {
+                    float = true;
+                }
+            }
+            TokenKind::Number => {
+                if is_float_literal(&t.text) {
+                    float = true;
+                }
+            }
+            _ => {
+                // Walking left, a `)` jumps over the whole call; walking
+                // right, `(` does the same.
+                if dir < 0 && t.text == ")" {
+                    let mut depth = 0i32;
+                    while j >= 0 {
+                        match tokens[j as usize].text.as_str() {
+                            ")" | "]" => depth += 1,
+                            "(" | "[" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if depth > 0 {
+                            if let TokenKind::Ident = tokens[j as usize].kind {
+                                if tokens[j as usize].text == "to_bits" {
+                                    bits = true;
+                                } else if float_fields.contains(&tokens[j as usize].text) {
+                                    float = true;
+                                }
+                            }
+                        }
+                        j -= 1;
+                    }
+                } else if dir > 0 && t.text == "(" {
+                    let end = skip_delimited(tokens, j as usize);
+                    for inner in &tokens[j as usize..end] {
+                        if inner.text == "to_bits" {
+                            bits = true;
+                        } else if float_fields.contains(&inner.text)
+                            || (inner.kind == TokenKind::Number && is_float_literal(&inner.text))
+                        {
+                            float = true;
+                        }
+                    }
+                    j = end as isize - 1;
+                } else if t.text != "." && t.text != "&" && t.text != "*" {
+                    // Any other punct ends the operand chain.
+                    break;
+                }
+            }
+        }
+        j += dir;
+        steps += 1;
+    }
+    (float, bits)
+}
+
+pub fn run(
+    file: &str,
+    tokens: &[Token],
+    float_fields: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.text == "==" || tok.text == "!=" {
+            let (lf, lb) = scan_operand(tokens, i, -1, float_fields);
+            let (rf, rb) = scan_operand(tokens, i, 1, float_fields);
+            if (lf || rf) && !(lb || rb) {
+                findings.push(Finding::new(
+                    "ML003",
+                    file,
+                    tok.line,
+                    format!(
+                        "float `{}` breaks byte-identity (NaN != NaN, -0.0 == +0.0); \
+                         compare through `.to_bits()`",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+        // `self.score.hash(state)` — IEEE floats have no Hash impl, so this
+        // pattern only appears via manual f64-to-integer casts; flag the
+        // direct field form.
+        if is_ident(tok, "hash")
+            && i >= 2
+            && tokens[i - 1].text == "."
+            && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+            && float_fields.contains(&tokens[i - 2].text)
+        {
+            findings.push(Finding::new(
+                "ML003",
+                file,
+                tok.line,
+                format!(
+                    "hashing float field `{}` breaks byte-identity; hash `.to_bits()` instead",
+                    tokens[i - 2].text
+                ),
+            ));
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::strip_cfg_test;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let tokens = strip_cfg_test(&lex(src).tokens);
+        let floats = collect_float_fields(&tokens);
+        let mut findings = Vec::new();
+        run("test.rs", &tokens, &floats, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn float_field_eq_is_flagged() {
+        let src = r#"
+struct P { score: f64 }
+fn f(a: &P, b: &P) -> bool { a.score == b.score }
+"#;
+        let f = run_on(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("to_bits"));
+    }
+
+    #[test]
+    fn to_bits_comparison_is_clean() {
+        let src = r#"
+struct P { score: f64 }
+fn f(a: &P, b: &P) -> bool { a.score.to_bits() == b.score.to_bits() }
+"#;
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn float_literal_comparison_is_flagged() {
+        let f = run_on("fn f(x: f64) -> bool { x == 1.05 }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn integer_comparison_is_clean() {
+        let src = r#"
+struct P { count: u32 }
+fn f(a: &P, b: &P) -> bool { a.count == b.count && a.count != 3 }
+"#;
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn float_field_hash_is_flagged() {
+        let src = r#"
+struct P { score: f64 }
+fn f(p: &P, state: &mut H) { p.score.hash(state); }
+"#;
+        let f = run_on(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("hash"));
+    }
+
+    #[test]
+    fn hex_literals_are_not_floats() {
+        assert!(run_on("fn f(x: u32) -> bool { x == 0xDEAD }").is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! ML004 — nondeterminism sources in planner-scoring code.
+//!
+//! The planner must produce byte-identical plans for identical inputs on
+//! every replica (the delta-replanning oracle and the plan cache both
+//! assume it).  Wall-clock reads and entropy-seeded RNGs inside scoring or
+//! plan-construction code silently break that; this pass flags them so each
+//! use is either removed or explicitly justified with a pragma.
+
+use crate::lexer::{Token, TokenKind};
+use crate::Finding;
+
+/// `A::b` paths that read wall-clock or entropy.
+const BANNED_PATHS: [(&str, &str); 2] = [("SystemTime", "now"), ("Instant", "now")];
+
+/// Bare calls that construct entropy-seeded RNGs.
+const BANNED_CALLS: [&str; 4] = ["thread_rng", "from_entropy", "from_os_rng", "random"];
+
+pub fn run(file: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        for (ty, method) in BANNED_PATHS {
+            if tok.text == ty
+                && tokens.get(i + 1).is_some_and(|t| t.text == "::")
+                && tokens.get(i + 2).is_some_and(|t| t.text == method)
+            {
+                findings.push(Finding::new(
+                    "ML004",
+                    file,
+                    tok.line,
+                    format!(
+                        "`{ty}::{method}()` in planner-scoring code: wall-clock reads \
+                         diverge across replicas and break plan byte-identity"
+                    ),
+                ));
+            }
+        }
+        if BANNED_CALLS.contains(&tok.text.as_str())
+            && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+        {
+            findings.push(Finding::new(
+                "ML004",
+                file,
+                tok.line,
+                format!(
+                    "`{}()` seeds from process entropy; planner scoring must use a \
+                     deterministic, seed-threaded RNG",
+                    tok.text
+                ),
+            ));
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::strip_cfg_test;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let tokens = strip_cfg_test(&lex(src).tokens);
+        let mut findings = Vec::new();
+        run("test.rs", &tokens, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn instant_now_is_flagged() {
+        let f = run_on("fn f() { let t0 = Instant::now(); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("wall-clock"));
+    }
+
+    #[test]
+    fn system_time_now_is_flagged() {
+        assert_eq!(run_on("fn f() { SystemTime::now(); }").len(), 1);
+    }
+
+    #[test]
+    fn entropy_rngs_are_flagged() {
+        let f = run_on("fn f() { let mut rng = thread_rng(); let s = StdRng::from_entropy(); }");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn seeded_rng_is_clean() {
+        assert!(run_on("fn f(seed: u64) { let rng = StdRng::seed_from_u64(seed); }").is_empty());
+    }
+
+    #[test]
+    fn elapsed_on_stored_instant_is_clean() {
+        assert!(run_on("fn f(t: Instant) -> Duration { t.elapsed() }").is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Diagnostic passes over the lexed token stream.
+//!
+//! Shared conventions: every pass works on "effective tokens" — the lexed
+//! stream with `#[cfg(test)]` items removed (test code unwraps and locks
+//! freely) — and reports [`crate::Finding`]s that the driver then filters
+//! through the allow pragmas.
+
+pub mod ml001;
+pub mod ml002;
+pub mod ml003;
+pub mod ml004;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Index one past the delimiter that closes `open_index` (whose token must
+/// be one of `(`/`[`/`{`), counting all three delimiter kinds.
+pub(crate) fn skip_delimited(tokens: &[Token], open_index: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open_index;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Is this token an identifier with the given text?
+pub(crate) fn is_ident(token: &Token, text: &str) -> bool {
+    token.kind == TokenKind::Ident && token.text == text
+}
+
+/// Remove every `#[cfg(test)]`-attributed item (typically `mod tests { .. }`)
+/// from the stream.
+pub(crate) fn strip_cfg_test(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+            && tokens.get(i + 2).is_some_and(|t| is_ident(t, "cfg"))
+            && tokens.get(i + 3).is_some_and(|t| t.text == "(")
+            && tokens.get(i + 4).is_some_and(|t| is_ident(t, "test"))
+            && tokens.get(i + 5).is_some_and(|t| t.text == ")")
+            && tokens.get(i + 6).is_some_and(|t| t.text == "]")
+        {
+            i += 7;
+            // Skip any further attributes on the same item.
+            while i < tokens.len()
+                && tokens[i].text == "#"
+                && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+            {
+                i = skip_delimited(tokens, i + 1);
+            }
+            // Skip the item itself: through `;`, or through its brace block.
+            let mut depth = 0i32;
+            while i < tokens.len() {
+                match tokens[i].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    "{" if depth == 0 => {
+                        i = skip_delimited(tokens, i);
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_modules_are_stripped() {
+        let src = r#"
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+fn also_live() {}
+"#;
+        let stripped = strip_cfg_test(&lex(src).tokens);
+        let text: Vec<&str> = stripped.iter().map(|t| t.text.as_str()).collect();
+        assert!(text.contains(&"live"));
+        assert!(text.contains(&"also_live"));
+        assert!(!text.contains(&"tests"));
+        assert!(!text.contains(&"y"));
+    }
+
+    #[test]
+    fn cfg_test_fn_with_extra_attrs_is_stripped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { a.unwrap() }\nfn keep() {}";
+        let stripped = strip_cfg_test(&lex(src).tokens);
+        let text: Vec<&str> = stripped.iter().map(|t| t.text.as_str()).collect();
+        assert!(!text.contains(&"helper"));
+        assert!(text.contains(&"keep"));
+    }
+}

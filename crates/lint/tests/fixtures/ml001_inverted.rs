@@ -1,0 +1,33 @@
+// ML001 positive fixture: the PR-5 admission-starvation shape, inverted.
+// The gate (rank 10) must be acquired before the in-flight table (rank 20);
+// this file takes the table first, then blocks on the gate — the exact
+// hold-and-wait that starved admission before the FIFO fix.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+fn lock_or_poisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct AdmissionGate {
+    state: Mutex<u32>,
+    freed: Condvar,
+}
+
+struct InFlightTable {
+    slots: Mutex<u32>,
+}
+
+struct Server {
+    gate: AdmissionGate,
+    table: InFlightTable,
+}
+
+impl Server {
+    fn serve(&self) {
+        let slots = lock_or_poisoned(&self.table.slots);
+        let state = lock_or_poisoned(&self.gate.state);
+        drop(state);
+        drop(slots);
+    }
+}

@@ -1,0 +1,31 @@
+// ML001 negative fixture: same locks as ml001_inverted.rs, acquired in
+// manifest rank order (gate 10 before table 20). Zero findings expected.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+fn lock_or_poisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct AdmissionGate {
+    state: Mutex<u32>,
+    freed: Condvar,
+}
+
+struct InFlightTable {
+    slots: Mutex<u32>,
+}
+
+struct Server {
+    gate: AdmissionGate,
+    table: InFlightTable,
+}
+
+impl Server {
+    fn serve(&self) {
+        let state = lock_or_poisoned(&self.gate.state);
+        let slots = lock_or_poisoned(&self.table.slots);
+        drop(slots);
+        drop(state);
+    }
+}

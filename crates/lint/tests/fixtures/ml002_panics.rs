@@ -1,0 +1,11 @@
+// ML002 positive fixture: every panic-path shape the rule must catch.
+
+fn decode(buf: &[u8], idx: usize) -> u8 {
+    let first = buf.first().copied().unwrap(); // finding: unwrap
+    let second = buf.get(1).copied().expect("short frame"); // finding: expect
+    if first == 0 {
+        panic!("zero magic"); // finding: panic!
+    }
+    let third = buf[idx]; // finding: computed index
+    first + second + third
+}

@@ -1,0 +1,18 @@
+// ML002 negative fixture: typed errors, literal indexing, and Option
+// handling. Zero findings expected.
+
+enum WireError {
+    Truncated,
+    BadMagic,
+}
+
+fn decode(buf: &[u8], idx: usize) -> Result<u8, WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let magic = buf[0]; // literal index: provably in bounds after the check
+    if magic != 0x4d {
+        return Err(WireError::BadMagic);
+    }
+    buf.get(idx).copied().ok_or(WireError::Truncated)
+}

@@ -1,0 +1,17 @@
+// ML003 positive fixture: IEEE comparison and hashing of float state.
+
+struct Outcome {
+    step_time: f64,
+}
+
+fn same(a: &Outcome, b: &Outcome) -> bool {
+    a.step_time == b.step_time // finding: float ==
+}
+
+fn drifted(a: &Outcome) -> bool {
+    a.step_time != 1.05 // finding: float != against a literal
+}
+
+fn key(a: &Outcome, state: &mut Hasher) {
+    a.step_time.hash(state); // finding: float hash
+}

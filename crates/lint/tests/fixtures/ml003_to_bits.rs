@@ -1,0 +1,15 @@
+// ML003 negative fixture: byte-identity comparisons through to_bits().
+// Zero findings expected.
+
+struct Outcome {
+    step_time: f64,
+    dp: u32,
+}
+
+fn same(a: &Outcome, b: &Outcome) -> bool {
+    a.step_time.to_bits() == b.step_time.to_bits() && a.dp == b.dp
+}
+
+fn key(a: &Outcome, state: &mut Hasher) {
+    a.step_time.to_bits().hash(state);
+}

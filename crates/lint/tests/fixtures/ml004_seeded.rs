@@ -1,0 +1,8 @@
+// ML004 negative fixture: deterministic seed-threaded randomness and
+// durations computed from caller-supplied instants. Zero findings expected.
+
+fn score(candidates: &[u64], seed: u64, t0: Instant) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let elapsed = t0.elapsed();
+    candidates.len() as u64 + rng.next_u64()
+}

@@ -1,0 +1,8 @@
+// ML004 positive fixture: wall-clock and entropy inside scoring code.
+
+fn score(candidates: &[u64]) -> u64 {
+    let started = Instant::now(); // finding: wall-clock
+    let stamp = SystemTime::now(); // finding: wall-clock
+    let mut rng = thread_rng(); // finding: entropy-seeded RNG
+    candidates.len() as u64
+}

@@ -1,0 +1,13 @@
+// ML005 fixture: one well-formed pragma (suppresses its ML004 finding) and
+// one reason-less pragma (ML005 finding; suppresses nothing).
+// Expected: exactly one ML005 and one ML004 (from the second site).
+
+fn observe() -> Instant {
+    // malleus-lint: allow(ML004, reason = "observability timestamp, never fed to scoring")
+    Instant::now()
+}
+
+fn leak() -> Instant {
+    // malleus-lint: allow(ML004)
+    Instant::now()
+}

@@ -59,9 +59,9 @@ impl Profiler {
     pub fn estimate_rates(report: &StepReport, probe: &ClusterSnapshot) -> Vec<f64> {
         let n = report.per_gpu_busy.len();
         let mut unit_times = vec![f64::NAN; n];
-        for g in 0..n {
+        for (g, slot) in unit_times.iter_mut().enumerate() {
             if report.per_gpu_work_units[g] > 0.0 {
-                unit_times[g] = report.per_gpu_busy[g] / report.per_gpu_work_units[g];
+                *slot = report.per_gpu_busy[g] / report.per_gpu_work_units[g];
             }
         }
         let fastest = unit_times

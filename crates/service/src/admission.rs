@@ -16,8 +16,9 @@
 //! waiters queued behind it.
 
 use crate::ServiceError;
+use malleus_core::RankedMutex;
 use std::collections::BTreeSet;
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
@@ -55,7 +56,7 @@ pub(crate) struct AdmissionGate {
     max_active: usize,
     max_queue_depth: usize,
     queue_wait_timeout: Option<Duration>,
-    state: Mutex<GateState>,
+    state: RankedMutex<GateState>,
     freed: Condvar,
 }
 
@@ -67,7 +68,7 @@ pub(crate) struct Permit<'a> {
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut state = self.gate.state.lock().unwrap();
+        let mut state = self.gate.state.lock();
         state.active -= 1;
         drop(state);
         // Wake every waiter: only the head ticket can proceed, and a targeted
@@ -87,7 +88,8 @@ impl AdmissionGate {
             max_active: max_active.max(1),
             max_queue_depth,
             queue_wait_timeout,
-            state: Mutex::new(GateState::default()),
+            // Rank from crates/lint/lock_order.toml (checked by malleus-lint).
+            state: RankedMutex::new(10, "AdmissionGate.state", GateState::default()),
             freed: Condvar::new(),
         }
     }
@@ -107,7 +109,7 @@ impl AdmissionGate {
         &self,
         timeout: Option<Duration>,
     ) -> Result<Permit<'_>, ServiceError> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock();
         if state.active >= self.max_active || state.waiting > 0 {
             if state.waiting >= self.max_queue_depth {
                 return Err(ServiceError::Overloaded {
@@ -121,7 +123,7 @@ impl AdmissionGate {
             let enqueued = Instant::now();
             while state.active >= self.max_active || state.serving != ticket {
                 match timeout {
-                    None => state = self.freed.wait(state).unwrap(),
+                    None => state = self.state.wait(&self.freed, state),
                     Some(limit) => {
                         let waited = enqueued.elapsed();
                         let Some(remaining) = limit.checked_sub(waited) else {
@@ -142,7 +144,7 @@ impl AdmissionGate {
                             });
                         };
                         let (guard, _timed_out) =
-                            self.freed.wait_timeout(state, remaining).unwrap();
+                            self.state.wait_timeout(&self.freed, state, remaining);
                         state = guard;
                     }
                 }
@@ -162,7 +164,7 @@ impl AdmissionGate {
 
     /// (active invocations, queued waiters).
     pub fn depths(&self) -> (usize, usize) {
-        let state = self.state.lock().unwrap();
+        let state = self.state.lock();
         (state.active, state.waiting)
     }
 }
@@ -210,7 +212,7 @@ mod tests {
 
     #[test]
     fn queued_waiter_is_admitted_ahead_of_a_later_arrival() {
-        use std::sync::Arc;
+        use std::sync::{Arc, Mutex};
         // The barge window is the gap between a permit drop and the queued
         // waiter's wakeup; race it repeatedly — the ticketed gate must never
         // let the later arrival through first.
@@ -246,7 +248,7 @@ mod tests {
 
     #[test]
     fn freed_slots_are_handed_out_in_arrival_order() {
-        use std::sync::Arc;
+        use std::sync::{Arc, Mutex};
         let gate = Arc::new(AdmissionGate::new(1, 8, None));
         let order = Arc::new(Mutex::new(Vec::new()));
         let permit = gate.admit().unwrap();
@@ -314,7 +316,7 @@ mod tests {
     /// order.
     #[test]
     fn later_queue_survives_an_abandoned_head_ticket() {
-        use std::sync::Arc;
+        use std::sync::{Arc, Mutex};
         let gate = Arc::new(AdmissionGate::new(1, 8, None));
         let order = Arc::new(Mutex::new(Vec::new()));
         let permit = gate.admit().unwrap();

@@ -24,6 +24,7 @@
 //!   optional `max_bytes_per_shard`, so a handful of 512-GPU lattice-bearing
 //!   plans cannot squeeze out every small tenant.
 
+use crate::sync::lock_or_poisoned;
 use crate::KeyedRequest;
 use malleus_core::PlannedOutcome;
 use std::collections::HashMap;
@@ -130,17 +131,18 @@ impl Shard {
                     .map(move |(i, e)| (e.last_used, *k, i))
             })
             .min();
-        if let Some((_, key, index)) = victim {
-            let bucket = self.entries.get_mut(&key).expect("victim bucket");
-            let removed = bucket.remove(index);
-            self.bytes -= removed.size;
-            if bucket.is_empty() {
-                self.entries.remove(&key);
-            }
-            true
-        } else {
-            false
+        let Some((_, key, index)) = victim else {
+            return false;
+        };
+        let Some(bucket) = self.entries.get_mut(&key) else {
+            return false;
+        };
+        let removed = bucket.remove(index);
+        self.bytes -= removed.size;
+        if bucket.is_empty() {
+            self.entries.remove(&key);
         }
+        true
     }
 }
 
@@ -179,7 +181,7 @@ impl ShardedPlanCache {
     /// untouched.  Returns the outcome (if any) and the number of expired
     /// entries purged from the touched bucket along the way.
     pub fn get(&self, key: u64, request: &KeyedRequest) -> (Option<Arc<PlannedOutcome>>, u64) {
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = lock_or_poisoned(self.shard(key));
         shard.clock += 1;
         let now = shard.clock;
         let mut expired = 0;
@@ -205,7 +207,7 @@ impl ShardedPlanCache {
             return 0;
         }
         let size = approx_outcome_size(&outcome);
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = lock_or_poisoned(self.shard(key));
         shard.clock += 1;
         let now = shard.clock;
         let mut evicted = 0;
@@ -248,12 +250,12 @@ impl ShardedPlanCache {
 
     /// Total number of cached plans across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| lock_or_poisoned(s).len()).sum()
     }
 
     /// Approximate resident bytes across all shards (diagnostics).
     pub fn approx_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+        self.shards.iter().map(|s| lock_or_poisoned(s).bytes).sum()
     }
 }
 

@@ -17,9 +17,9 @@
 //! a synthetic error.
 
 use crate::{KeyedRequest, ServiceError};
-use malleus_core::PlannedOutcome;
+use malleus_core::{PlannedOutcome, RankedMutex};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar};
 
 /// What a computation produced, shared verbatim with every coalesced waiter.
 pub(crate) type PlanResult = Result<Arc<PlannedOutcome>, ServiceError>;
@@ -34,23 +34,13 @@ pub(crate) enum Publication {
     Aborted,
 }
 
-/// Lock that survives a poisoned mutex: the protected state (an `Option` set
-/// exactly once, a `HashMap` mutated under short critical sections) is valid
-/// at every intermediate point, and a leader panic must not cascade poison
-/// panics into every follower.
-fn lock_robust<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
 /// One in-flight computation.
 #[derive(Debug)]
 pub(crate) struct InFlight {
     /// The leader's keyed request (followers confirm full equality — backend
     /// included — before waiting).
     request: KeyedRequest,
-    result: Mutex<Option<Publication>>,
+    result: RankedMutex<Option<Publication>>,
     ready: Condvar,
 }
 
@@ -58,7 +48,11 @@ impl InFlight {
     fn new(request: KeyedRequest) -> Self {
         Self {
             request,
-            result: Mutex::new(None),
+            // Rank from crates/lint/lock_order.toml (checked by malleus-lint).
+            // `RankedMutex` recovers from poisoning: the slot is an `Option`
+            // set exactly once, so a leader panic must not cascade poison
+            // panics into every follower.
+            result: RankedMutex::new(30, "InFlight.result", None),
             ready: Condvar::new(),
         }
     }
@@ -66,18 +60,15 @@ impl InFlight {
     /// Block until the leader publishes (a result *or* an abort), then return
     /// a clone of the publication.
     pub fn wait(&self) -> Publication {
-        let mut slot = lock_robust(&self.result);
+        let mut slot = self.result.lock();
         while slot.is_none() {
-            slot = self
-                .ready
-                .wait(slot)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            slot = self.result.wait(&self.ready, slot);
         }
-        slot.as_ref().unwrap().clone()
+        slot.clone().expect("loop exits only once published")
     }
 
     fn publish(&self, publication: Publication) {
-        *lock_robust(&self.result) = Some(publication);
+        *self.result.lock() = Some(publication);
         self.ready.notify_all();
     }
 }
@@ -95,15 +86,24 @@ pub(crate) enum Role {
 }
 
 /// The singleflight table: at most one slot per key.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct InFlightTable {
-    slots: Mutex<HashMap<u64, Arc<InFlight>>>,
+    slots: RankedMutex<HashMap<u64, Arc<InFlight>>>,
+}
+
+impl Default for InFlightTable {
+    fn default() -> Self {
+        Self {
+            // Rank from crates/lint/lock_order.toml (checked by malleus-lint).
+            slots: RankedMutex::new(20, "InFlightTable.slots", HashMap::new()),
+        }
+    }
 }
 
 impl InFlightTable {
     /// Join the in-flight computation for `key`, or become its leader.
     pub fn join(&self, key: u64, request: &KeyedRequest) -> Role {
-        let mut slots = lock_robust(&self.slots);
+        let mut slots = self.slots.lock();
         match slots.get(&key) {
             Some(slot) if slot.request.matches(request) => Role::Follower(Arc::clone(slot)),
             Some(_) => Role::Collision,
@@ -119,7 +119,7 @@ impl InFlightTable {
     /// them) and retire the slot so later requests go to the cache.
     pub fn complete(&self, key: u64, slot: &Arc<InFlight>, result: PlanResult) {
         slot.publish(Publication::Done(result));
-        lock_robust(&self.slots).remove(&key);
+        self.slots.lock().remove(&key);
     }
 
     /// Leader-side abort (unwind path): wake every follower with
@@ -127,11 +127,11 @@ impl InFlightTable {
     /// the slot so a later arrival can become a fresh leader.
     pub fn abort(&self, key: u64, slot: &Arc<InFlight>) {
         slot.publish(Publication::Aborted);
-        lock_robust(&self.slots).remove(&key);
+        self.slots.lock().remove(&key);
     }
 
     /// Number of in-flight computations (diagnostics).
     pub fn len(&self) -> usize {
-        lock_robust(&self.slots).len()
+        self.slots.lock().len()
     }
 }

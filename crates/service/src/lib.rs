@@ -41,6 +41,7 @@ mod cache;
 mod coalesce;
 mod metrics;
 pub mod server;
+mod sync;
 
 pub use metrics::{BackendMetrics, ServiceMetrics};
 pub use server::{ClientConfig, Endpoint, L1Stats, PlanClient, PlanServer, ServerConfig};
@@ -298,7 +299,7 @@ impl Default for ServiceConfig {
         Self {
             shards: 8,
             capacity_per_shard: 32,
-            max_concurrent_plans: cores.min(4).max(1),
+            max_concurrent_plans: cores.clamp(1, 4),
             max_queue_depth: 1024,
             worker_budget: cores,
             queue_wait_timeout: None,
@@ -430,7 +431,10 @@ struct BackendRegistry {
 
 impl std::fmt::Debug for BackendRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let ids: Vec<BackendId> = self.ctors.lock().unwrap().keys().copied().collect();
+        let ids: Vec<BackendId> = sync::lock_or_poisoned(&self.ctors)
+            .keys()
+            .copied()
+            .collect();
         f.debug_struct("BackendRegistry")
             .field("ids", &ids)
             .finish()
@@ -499,15 +503,12 @@ impl PlanService {
     /// fingerprint differently (see
     /// [`malleus_core::PlanBackend::fingerprint_config`]).
     pub fn register_backend(&self, id: BackendId, ctor: Arc<BackendConstructor>) {
-        self.registry.ctors.lock().unwrap().insert(id, ctor);
+        sync::lock_or_poisoned(&self.registry.ctors).insert(id, ctor);
     }
 
     /// The backends currently registered, in [`BackendId`] order.
     pub fn registered_backends(&self) -> Vec<BackendId> {
-        self.registry
-            .ctors
-            .lock()
-            .unwrap()
+        sync::lock_or_poisoned(&self.registry.ctors)
             .keys()
             .copied()
             .collect()
@@ -555,11 +556,7 @@ impl PlanService {
         metrics::MetricsRecorder::bump(&self.metrics.requests);
         metrics::MetricsRecorder::bump(&self.metrics.backend(backend).requests);
 
-        let ctor = self
-            .registry
-            .ctors
-            .lock()
-            .unwrap()
+        let ctor = sync::lock_or_poisoned(&self.registry.ctors)
             .get(&backend)
             .cloned()
             .ok_or(ServiceError::UnknownBackend { backend })?;

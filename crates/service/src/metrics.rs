@@ -7,6 +7,7 @@
 //! individually, so a snapshot taken while requests are in flight may be off
 //! by the requests that completed mid-read.
 
+use crate::sync::lock_or_poisoned;
 use malleus_core::BackendId;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,14 +101,14 @@ impl MetricsRecorder {
     /// Record the end-to-end service time of one request (seconds).
     pub fn record_service_time(&self, seconds: f64) {
         let stripe = self.next_stripe.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_STRIPES;
-        self.latencies[stripe].lock().unwrap().record(seconds);
+        lock_or_poisoned(&self.latencies[stripe]).record(seconds);
     }
 
     pub fn snapshot(&self, queue_depth: usize, active_plans: usize) -> ServiceMetrics {
         let mut samples: Vec<f64> = self
             .latencies
             .iter()
-            .flat_map(|stripe| stripe.lock().unwrap().samples.clone())
+            .flat_map(|stripe| lock_or_poisoned(stripe).samples.clone())
             .collect();
         samples.sort_by(f64::total_cmp);
         ServiceMetrics {

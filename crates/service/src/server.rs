@@ -44,6 +44,7 @@
 //! facade's `tests/remote_equivalence.rs` proves it across the S1–S6
 //! transitions.
 
+use crate::sync::{lock_or_poisoned, wait_or_poisoned};
 use crate::{KeyedRequest, PlanRequest, PlanService, PlanTransport, ServiceError};
 use malleus_cluster::ClusterSnapshot;
 use malleus_core::{BackendId, PlanError, PlanOutcome, PlannedOutcome};
@@ -310,9 +311,9 @@ impl ConnSlots {
     }
 
     fn acquire(self: &Arc<Self>) -> SlotGuard {
-        let mut live = self.live.lock().unwrap();
+        let mut live = lock_or_poisoned(&self.live);
         while *live >= self.limit {
-            live = self.freed.wait(live).unwrap();
+            live = wait_or_poisoned(&self.freed, live);
         }
         *live += 1;
         SlotGuard(Arc::clone(self))
@@ -324,7 +325,7 @@ struct SlotGuard(Arc<ConnSlots>);
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
-        *self.0.live.lock().unwrap() -= 1;
+        *lock_or_poisoned(&self.0.live) -= 1;
         self.0.freed.notify_all();
     }
 }
@@ -609,17 +610,18 @@ impl L1Inner {
                     .map(move |(i, e)| (e.last_used, *k, i))
             })
             .min();
-        if let Some((_, key, index)) = victim {
-            let bucket = self.entries.get_mut(&key).expect("victim bucket");
-            let removed = bucket.remove(index);
-            self.bytes -= removed.size;
-            if bucket.is_empty() {
-                self.entries.remove(&key);
-            }
-            true
-        } else {
-            false
+        let Some((_, key, index)) = victim else {
+            return false;
+        };
+        let Some(bucket) = self.entries.get_mut(&key) else {
+            return false;
+        };
+        let removed = bucket.remove(index);
+        self.bytes -= removed.size;
+        if bucket.is_empty() {
+            self.entries.remove(&key);
         }
+        true
     }
 }
 
@@ -646,7 +648,7 @@ impl L1Cache {
     /// relative to the live snapshot (structural changes — different GPU
     /// count or availability — always count as drifted).
     fn invalidate_drifted(&self, live: &ClusterSnapshot, threshold: f64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_poisoned(&self.inner);
         let mut freed = 0usize;
         let mut evicted = 0u64;
         for bucket in inner.entries.values_mut() {
@@ -667,7 +669,7 @@ impl L1Cache {
     }
 
     fn get(&self, key: u64, keyed: &KeyedRequest) -> Option<Arc<PlannedOutcome>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_poisoned(&self.inner);
         inner.requests += 1;
         inner.clock += 1;
         let now = inner.clock;
@@ -710,7 +712,7 @@ impl L1Cache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_poisoned(&self.inner);
         inner.clock += 1;
         let now = inner.clock;
         if let Some(bucket) = inner.entries.get_mut(&key) {
@@ -743,7 +745,7 @@ impl L1Cache {
     }
 
     fn stats(&self) -> L1Stats {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_or_poisoned(&self.inner);
         L1Stats {
             requests: inner.requests,
             hits: inner.hits,

@@ -58,7 +58,7 @@ pub fn simulate_zero3_step(
         return None;
     }
     let sp = config.sequence_parallel.max(1) as usize;
-    if n % sp != 0 {
+    if !n.is_multiple_of(sp) {
         return None;
     }
     let dp_groups = n / sp;

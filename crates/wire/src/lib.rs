@@ -234,15 +234,25 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated {
-                needed: n,
-                available: self.remaining(),
-            });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let truncated = WireError::Truncated {
+            needed: n,
+            available: self.remaining(),
+        };
+        // `.get` (never slice indexing) so a hostile length can only produce
+        // a typed error, not a panic in the request path.
+        let end = self.pos.checked_add(n).ok_or(truncated.clone())?;
+        let slice = self.buf.get(self.pos..end).ok_or(truncated)?;
+        self.pos = end;
         Ok(slice)
+    }
+
+    /// [`take`](Self::take) into a fixed-size array (for `from_le_bytes`),
+    /// avoiding the panicking `try_into().unwrap()` conversion.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
     }
 
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
@@ -250,15 +260,15 @@ impl<'a> Decoder<'a> {
     }
 
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array::<2>()?))
     }
 
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
     pub fn get_usize(&mut self) -> Result<usize, WireError> {
@@ -370,6 +380,7 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8], cap: usize) -> Result<()
 fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, WireError> {
     let mut got = 0;
     while got < buf.len() {
+        // malleus-lint: allow(ML002, reason = "got < buf.len() loop invariant keeps the slice start in bounds")
         match r.read(&mut buf[got..]) {
             Ok(0) => break,
             Ok(n) => got += n,
@@ -410,14 +421,14 @@ pub fn read_frame_opt<R: Read>(r: &mut R, cap: usize) -> Result<Option<Vec<u8>>,
     }
     if header[..4] != FRAME_MAGIC {
         return Err(WireError::BadMagic {
-            found: header[..4].try_into().unwrap(),
+            found: [header[0], header[1], header[2], header[3]],
         });
     }
-    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    let version = u16::from_le_bytes([header[4], header[5]]);
     if version != WIRE_VERSION {
         return Err(WireError::UnknownVersion { version });
     }
-    let len = u32::from_le_bytes(header[6..10].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
     if len > cap {
         return Err(WireError::Oversized { len, cap });
     }
@@ -842,10 +853,13 @@ impl Wire for BackendId {
     fn encode(&self, e: &mut Encoder) {
         // Tag = position in BackendId::ALL — stable like BackendId::code(),
         // but one byte.
-        let tag = BackendId::ALL
-            .iter()
-            .position(|b| b == self)
-            .expect("every BackendId is in ALL") as u8;
+        let tag = match BackendId::ALL.iter().position(|b| b == self) {
+            Some(i) => i as u8,
+            // Unreachable by construction (ALL enumerates the enum); emit a
+            // tag `decode` rejects as UnknownTag rather than panicking in an
+            // encode path.
+            None => u8::MAX,
+        };
         e.put_u8(tag);
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {

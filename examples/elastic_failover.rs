@@ -17,7 +17,7 @@ fn main() {
     let coeffs =
         ProfiledCoefficients::derive(ModelSpec::llama2_32b(), HardwareParams::a800_cluster());
 
-    let phases = vec![
+    let phases = [
         ("healthy", vec![]),
         (
             "heavy straggler on gpu3",

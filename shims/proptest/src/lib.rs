@@ -156,11 +156,12 @@ mod tests {
         let strat = f64::MIN..f64::MAX;
         for _ in 0..200 {
             let v = strat.sample(&mut rng);
-            assert!(v.is_finite() && v >= f64::MIN && v < f64::MAX);
+            assert!(v.is_finite() && (f64::MIN..f64::MAX).contains(&v));
         }
     }
 
     #[test]
+    #[allow(clippy::reversed_empty_ranges)] // the inverted range is the point of the test
     fn empty_vec_length_range_panics() {
         let result = std::panic::catch_unwind(|| {
             let mut rng = TestRng::from_seed(7);

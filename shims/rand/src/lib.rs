@@ -178,9 +178,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         for _ in 0..200 {
             let f: f32 = rng.random_range(f32::MIN..f32::MAX);
-            assert!(f.is_finite() && f >= f32::MIN && f < f32::MAX);
+            assert!(f.is_finite() && (f32::MIN..f32::MAX).contains(&f));
             let d: f64 = rng.random_range(f64::MIN..f64::MAX);
-            assert!(d.is_finite() && d >= f64::MIN && d < f64::MAX);
+            assert!(d.is_finite() && (f64::MIN..f64::MAX).contains(&d));
         }
     }
 
