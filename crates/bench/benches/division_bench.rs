@@ -1,0 +1,142 @@
+//! Division-solver micro-benchmark: the frozen seed reference
+//! (`malleus_solver::reference`) vs the allocation-free scratch-arena solver,
+//! serial and parallel, with byte-identity asserted on every instance.
+//!
+//! ```bash
+//! cargo bench -p malleus-bench --bench division_bench            # full
+//! cargo bench -p malleus-bench --bench division_bench -- --smoke # CI mode
+//! ```
+//!
+//! `--smoke` runs one timing iteration per cell instead of taking the best of
+//! several; the identity assertions run in both modes.
+
+use malleus_bench::table::Table;
+use malleus_solver::reference::divide_pipelines_reference;
+use malleus_solver::{divide_pipelines, divide_pipelines_parallel, Division, DivisionProblem};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Case {
+    label: &'static str,
+    problem: DivisionProblem,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            label: "dp2_ms2_fast6 (64-GPU S3 shape)",
+            problem: DivisionProblem::new(2, 6, 0.17, vec![0.4, 0.9], 64),
+        },
+        Case {
+            label: "dp8_ms4_fast24 (4k candidates)",
+            problem: DivisionProblem::new(8, 24, 1.0, vec![2.0, 3.0, 2.5, 4.0], 256),
+        },
+        Case {
+            label: "dp8_ms5_fast120 (32k candidates, paper fast pool)",
+            problem: DivisionProblem::new(8, 120, 0.17, vec![0.4, 0.45, 0.5, 0.55, 0.6], 1024),
+        },
+        Case {
+            label: "dp16_ms4_fast48 (65k candidates)",
+            problem: DivisionProblem::new(16, 48, 1.0, vec![2.0, 2.5, 3.0, 3.5], 512),
+        },
+        Case {
+            label: "dp4_ms8_fast12 (65k candidates, slow-heavy)",
+            problem: DivisionProblem::new(
+                4,
+                12,
+                1.0,
+                vec![2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.5],
+                256,
+            ),
+        },
+        Case {
+            label: "dp8_ms16_fast120 (local search)",
+            problem: DivisionProblem::new(
+                8,
+                120,
+                1.0,
+                (0..16).map(|i| 2.0 + i as f64 * 0.25).collect(),
+                1024,
+            ),
+        },
+    ]
+}
+
+fn best_secs(iters: usize, mut f: impl FnMut() -> Division) -> (f64, Division) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let d = black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(d);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+fn assert_bitwise_equal(a: &Division, b: &Division, label: &str) {
+    assert_eq!(a.fast_per_pipeline, b.fast_per_pipeline, "{label}");
+    assert_eq!(a.slow_assignment, b.slow_assignment, "{label}");
+    assert_eq!(a.micro_batches, b.micro_batches, "{label}");
+    assert_eq!(
+        a.objective.to_bits(),
+        b.objective.to_bits(),
+        "{label}: objective {} vs {}",
+        a.objective,
+        b.objective
+    );
+    let ca: Vec<u64> = a.capacities.iter().map(|c| c.to_bits()).collect();
+    let cb: Vec<u64> = b.capacities.iter().map(|c| c.to_bits()).collect();
+    assert_eq!(ca, cb, "{label}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 1 } else { 5 };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    println!(
+        "Division-solver micro-benchmark (best of {iters}, parallel at {workers} workers){}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let mut table = Table::new([
+        "instance",
+        "seed ref (ms)",
+        "optimized (ms)",
+        "parallel (ms)",
+        "speedup",
+        "speedup (par)",
+    ]);
+    let mut worst_serial = f64::INFINITY;
+    let mut worst_parallel = f64::INFINITY;
+    for case in cases() {
+        let p = &case.problem;
+        let (ref_secs, ref_d) =
+            best_secs(iters, || divide_pipelines_reference(p).expect("reference"));
+        let (opt_secs, opt_d) = best_secs(iters, || divide_pipelines(p).expect("optimized"));
+        let (par_secs, par_d) = best_secs(iters, || {
+            divide_pipelines_parallel(p, workers).expect("parallel")
+        });
+        assert_bitwise_equal(&opt_d, &ref_d, case.label);
+        assert_bitwise_equal(&par_d, &ref_d, case.label);
+        let speedup = ref_secs / opt_secs.max(1e-12);
+        let speedup_par = ref_secs / par_secs.max(1e-12);
+        worst_serial = worst_serial.min(speedup);
+        worst_parallel = worst_parallel.min(speedup_par);
+        table.row([
+            case.label.to_string(),
+            format!("{:.2}", ref_secs * 1e3),
+            format!("{:.2}", opt_secs * 1e3),
+            format!("{:.2}", par_secs * 1e3),
+            format!("{speedup:.2}x"),
+            format!("{speedup_par:.2}x"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nAll instances byte-identical to the seed reference. Worst-case speedup: {worst_serial:.2}x serial, {worst_parallel:.2}x parallel."
+    );
+}

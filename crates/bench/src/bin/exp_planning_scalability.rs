@@ -21,8 +21,11 @@ use malleus_bench::{write_json, JsonValue, ScenarioMatrix};
 use malleus_cluster::{Cluster, GpuId, PaperSituation, StragglerLevel};
 use malleus_core::{Parallelism, PlanTiming, Planner, PlannerConfig};
 use malleus_model::{HardwareParams, ProfiledCoefficients};
+use malleus_solver::reference::divide_pipelines_reference;
+use malleus_solver::{divide_pipelines, Division, DivisionProblem};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::hint::black_box;
 use std::time::Instant;
 
 fn row(label: &str, timing: &PlanTiming, table: &mut Table) {
@@ -49,6 +52,30 @@ fn timing_json(label: &str, timing: &PlanTiming) -> JsonValue {
         ),
         ("total", JsonValue::Num(timing.total().as_secs_f64())),
     ])
+}
+
+/// Best-of-`iters` wall clock for one division solve, returning the plan so the
+/// caller can assert byte-identity against the seed reference.
+fn best_division_secs(iters: usize, mut f: impl FnMut() -> Division) -> (f64, Division) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let d = black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(d);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+fn assert_division_bitwise_equal(a: &Division, b: &Division, label: &str) {
+    assert_eq!(a.fast_per_pipeline, b.fast_per_pipeline, "{label}");
+    assert_eq!(a.slow_assignment, b.slow_assignment, "{label}");
+    assert_eq!(a.micro_batches, b.micro_batches, "{label}");
+    assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "{label}");
+    let ca: Vec<u64> = a.capacities.iter().map(|c| c.to_bits()).collect();
+    let cb: Vec<u64> = b.capacities.iter().map(|c| c.to_bits()).collect();
+    assert_eq!(ca, cb, "{label}");
 }
 
 fn main() {
@@ -193,11 +220,76 @@ fn main() {
         println!("\n(Speedups require a multi-core host; at auto=1 worker both columns run the serial path.)");
     }
 
+    // ---- Division micro-breakdown: frozen seed reference vs scratch-arena solver ----
+    // Runs in both modes: the pipeline-division phase dominates planning time on
+    // straggler-heavy fleets, so this is where the solver rework must pay off.
+    // Every optimized plan is asserted byte-identical to the seed reference, and
+    // the best speedup over the division-dominated instances must clear 5x.
+    let division_iters = if smoke { 3 } else { 7 };
+    let division_cases: Vec<(&str, DivisionProblem)> = vec![
+        (
+            "dp8_ms4_fast24 (4k candidates)",
+            DivisionProblem::new(8, 24, 1.0, vec![2.0, 3.0, 2.5, 4.0], 256),
+        ),
+        (
+            "dp16_ms4_fast48 (65k candidates)",
+            DivisionProblem::new(16, 48, 1.0, vec![2.0, 2.5, 3.0, 3.5], 512),
+        ),
+    ];
+    println!("\nDivision micro-breakdown: seed reference vs scratch-arena solver (best of {division_iters})");
+    let mut division_table = Table::new([
+        "instance",
+        "seed ref (ms)",
+        "optimized (ms)",
+        "speedup",
+        "identical",
+    ]);
+    let mut division_records = Vec::new();
+    let mut best_division_speedup = 0.0f64;
+    for (label, problem) in &division_cases {
+        let (ref_secs, ref_d) = best_division_secs(division_iters, || {
+            divide_pipelines_reference(problem).expect("reference division")
+        });
+        let (opt_secs, opt_d) = best_division_secs(division_iters, || {
+            divide_pipelines(problem).expect("optimized division")
+        });
+        assert_division_bitwise_equal(&opt_d, &ref_d, label);
+        let speedup = ref_secs / opt_secs.max(1e-12);
+        best_division_speedup = best_division_speedup.max(speedup);
+        division_table.row([
+            label.to_string(),
+            format!("{:.2}", ref_secs * 1e3),
+            format!("{:.2}", opt_secs * 1e3),
+            format!("{speedup:.2}x"),
+            "true".to_string(),
+        ]);
+        division_records.push(JsonValue::obj(vec![
+            ("instance", JsonValue::str(*label)),
+            ("reference_secs", JsonValue::Num(ref_secs)),
+            ("optimized_secs", JsonValue::Num(opt_secs)),
+            ("speedup", JsonValue::Num(speedup)),
+            ("identical", JsonValue::Bool(true)),
+        ]));
+    }
+    division_table.print();
+    println!(
+        "\nBest division speedup vs seed: {best_division_speedup:.2}x (gate: >= 5x on division-dominated instances)"
+    );
+    assert!(
+        best_division_speedup >= 5.0,
+        "division solver speedup regressed: best {best_division_speedup:.2}x < 5x vs seed reference"
+    );
+
     let artifact = JsonValue::obj(vec![
         ("experiment", JsonValue::str("planning_scalability")),
         ("smoke", JsonValue::Bool(smoke)),
         ("breakdowns", JsonValue::Arr(breakdowns)),
         ("scenario_matrix", JsonValue::Arr(matrix_records)),
+        ("division", JsonValue::Arr(division_records)),
+        (
+            "division_speedup_vs_seed",
+            JsonValue::Num(best_division_speedup),
+        ),
     ]);
     match write_json("BENCH_planning.json", &artifact) {
         Ok(()) => println!("\nWrote BENCH_planning.json"),

@@ -89,13 +89,15 @@ impl CostModel {
         snapshot: &ClusterSnapshot,
         micro_batch_size: u64,
     ) -> f64 {
-        let times: Vec<f64> = pipeline
-            .stages
-            .iter()
-            .map(|s| self.stage_time(s, snapshot, micro_batch_size))
-            .collect();
-        let max_t = times.iter().copied().fold(0.0, f64::max);
-        let sum_t: f64 = times.iter().sum();
+        // Single pass, no intermediate Vec: both folds visit the stages in the
+        // same order as the two-pass formulation, so the bits are unchanged.
+        let mut max_t = 0.0_f64;
+        let mut sum_t = 0.0_f64;
+        for s in &pipeline.stages {
+            let t = self.stage_time(s, snapshot, micro_batch_size);
+            max_t = f64::max(max_t, t);
+            sum_t += t;
+        }
         (pipeline.num_micro_batches.saturating_sub(1)) as f64 * max_t + sum_t
     }
 

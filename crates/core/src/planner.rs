@@ -420,7 +420,12 @@ impl Planner {
     /// assignment, data assignment, validation, and cost estimation.  Entirely
     /// self-contained — no shared mutable state — so candidates can run on any
     /// worker thread.
-    fn evaluate_candidate(&self, snapshot: &ClusterSnapshot, cand: &Candidate) -> CandidateEval {
+    fn evaluate_candidate(
+        &self,
+        snapshot: &ClusterSnapshot,
+        cand: &Candidate,
+        division_workers: usize,
+    ) -> CandidateEval {
         let num_layers = self.cost.coeffs.spec.num_layers as u64;
         let (max_tp, dp, b) = (cand.max_tp, cand.dp, cand.micro_batch);
         let total_micro_batches = self.config.global_batch_size / b;
@@ -441,6 +446,7 @@ impl Planner {
             total_micro_batches,
             b,
             cand.nonuniform_division,
+            division_workers,
         ) {
             Ok(d) => d,
             Err(e) => {
@@ -664,10 +670,23 @@ impl Planner {
         // unchanged since a previous invocation is served from the memo —
         // bitwise what a fresh evaluation would produce — and every fresh
         // evaluation is memoized for the next event.
+        //
+        // When the lattice is narrower than the worker budget, the leftover
+        // threads go *inside* each candidate's division search (the dominant
+        // cost).  Division results are worker-count-invariant, so this is
+        // invisible to the memo and to the serial oracle.
+        let division_workers = if candidates.is_empty() || candidates.len() >= workers {
+            1
+        } else {
+            workers / candidates.len()
+        };
         let evals: Vec<(CandidateEval, bool)> = fan_out(candidates.len(), workers, |i| {
             let cand = &candidates[i];
             if !memoize {
-                return (self.evaluate_candidate(snapshot, cand), false);
+                return (
+                    self.evaluate_candidate(snapshot, cand, division_workers),
+                    false,
+                );
             }
             let inputs = self.candidate_inputs(snapshot, cand, &rate_bits);
             let key = inputs.fingerprint();
@@ -683,7 +702,7 @@ impl Planner {
                     );
                 }
             }
-            let eval = self.evaluate_candidate(snapshot, cand);
+            let eval = self.evaluate_candidate(snapshot, cand, division_workers);
             self.candidate_memo.insert(
                 key,
                 &inputs,

@@ -88,7 +88,7 @@ const ML001_SCOPE: [&str; 3] = [
     "crates/runtime/src",
 ];
 const ML002_SCOPE: [&str; 2] = ["crates/service/src/server.rs", "crates/wire/src"];
-const ML003_SCOPE: [&str; 2] = ["crates/core/src", "crates/wire/src"];
+const ML003_SCOPE: [&str; 3] = ["crates/core/src", "crates/solver/src", "crates/wire/src"];
 const ML004_SCOPE: [&str; 7] = [
     "crates/core/src/planner.rs",
     "crates/core/src/cost.rs",
@@ -289,7 +289,10 @@ mod tests {
         assert!(in_scope("crates/core/src/planner.rs", &ML001_SCOPE));
         assert!(in_scope("crates/service/src/server.rs", &ML002_SCOPE));
         assert!(!in_scope("crates/core/src2/evil.rs", &ML001_SCOPE));
-        assert!(!in_scope("crates/solver/src/lib.rs", &ML003_SCOPE));
+        // The rewritten division hot path is float-comparison heavy, so the
+        // solver sits inside the ML003 byte-identity scope.
+        assert!(in_scope("crates/solver/src/lib.rs", &ML003_SCOPE));
+        assert!(!in_scope("crates/baselines/src/lib.rs", &ML003_SCOPE));
     }
 
     #[test]

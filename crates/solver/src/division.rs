@@ -19,10 +19,37 @@
 //! experiment of Appendix A.2).  Fast groups are then distributed greedily to
 //! balance the capacities, and micro-batches are split with the exact min-max
 //! allocator.
+//!
+//! # Hot-path structure
+//!
+//! This is where the planner spends essentially all of its time (the smoke
+//! profile attributes >99% of planning to this search), so the inner loop is
+//! engineered around three ideas, each proven byte-identical to the frozen
+//! seed implementation in [`crate::reference`]:
+//!
+//! * **Scratch arena** ([`DivisionScratch`]): every buffer the per-candidate
+//!   scoring needs (counts, capacities, weights, micro-batch amounts) lives in
+//!   flat reusable vectors sized by `dp`/`ms`, so the steady-state loop
+//!   performs zero heap allocations.
+//! * **Incremental enumeration**: advancing the mixed-radix assignment counter
+//!   updates `slow_counts` exactly (±1) and recomputes the slow capacity of
+//!   only the touched pipelines — by re-folding their `1/y_k` contributions in
+//!   ascending-`k` order, which reproduces the seed's per-slot summation order
+//!   bit for bit.
+//! * **Bound pruning and intra-candidate parallelism**: the relaxed optimum
+//!   `M / Σ_i W_i` is an assignment-invariant lower bound; once the incumbent
+//!   objective reaches it (modulo a margin strictly larger than the float
+//!   noise), no remaining candidate can pass the strict-improvement test, so
+//!   enumeration stops early.  Large searches are split across scoped worker
+//!   threads which record each candidate's objective bits into an index-ordered
+//!   array; a serial index-order fold then reproduces the exact tie-breaking of
+//!   the sequential loop at any worker count (the PR 2 reduction discipline).
+//!   Workers prune only on their *own* fold — sharing an incumbent across
+//!   ranges could skip a candidate that the serial fold would have accepted.
 
-use crate::minmax::solve_minmax_allocation;
-use crate::relax::harmonic_capacity;
+use crate::minmax::solve_minmax_allocation_into;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Input description of a pipeline-division problem.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,96 +147,557 @@ impl std::fmt::Display for DivisionError {
 
 impl std::error::Error for DivisionError {}
 
-/// Distribute the fast groups to balance per-pipeline capacities.
+/// Parallel enumeration only pays off when there is enough work per thread.
+const PARALLEL_MIN_SEARCH: u64 = 4096;
+/// Cap on the index-ordered objective array the parallel reduction fills
+/// (8 bytes per candidate; the exact-enumeration limit keeps us under this
+/// in practice, the constant is a second belt).
+const PARALLEL_MAX_SEARCH: u64 = 1 << 20;
+
+/// Reusable flat buffers for the division search.
 ///
-/// Given the capacity contributed by the already-assigned slow groups, hand out
-/// the `fast_count` identical fast groups one at a time to the pipeline with
-/// the smallest current capacity, respecting the minimum-groups constraint
-/// first.
-fn distribute_fast_groups(
-    dp: usize,
-    fast_count: usize,
-    fast_rate: f64,
-    slow_capacity: &[f64],
-    slow_counts: &[usize],
-    min_groups: usize,
-) -> Option<Vec<usize>> {
-    let mut fast = vec![0usize; dp];
-    let mut remaining = fast_count;
-    // First satisfy the minimum group count per pipeline.
-    for i in 0..dp {
-        let need = min_groups.saturating_sub(slow_counts[i]);
-        if need > remaining {
-            return None;
+/// All vectors are sized by `dp`, `ms` (= number of slow groups) or
+/// `fast_count` in [`DivisionScratch::prepare`]; after a warm-up call on a
+/// thread, scoring a candidate touches no heap at all.
+#[derive(Debug, Default)]
+struct DivisionScratch {
+    /// Current slow-group assignment (the mixed-radix counter), length `ms`.
+    assignment: Vec<usize>,
+    /// Best assignment found so far, length `ms`.
+    best_assignment: Vec<usize>,
+    /// Slow groups per pipeline for `assignment`, length `dp`.
+    slow_counts: Vec<usize>,
+    /// Σ 1/y_k of the slow groups in each pipeline (seed summation order),
+    /// length `dp`.
+    slow_capacity: Vec<f64>,
+    /// Fast groups per pipeline for the current candidate, length `dp`.
+    fast: Vec<usize>,
+    /// Working capacities for the greedy fast-group distribution, length `dp`.
+    greedy_capacity: Vec<f64>,
+    /// Final harmonic capacities `W_i` of the current candidate, length `dp`.
+    capacities: Vec<f64>,
+    /// Micro-batch weights `1/W_i`, length `dp`.
+    weights: Vec<f64>,
+    /// Micro-batch amounts from the min-max allocator, length `dp`.
+    amounts: Vec<u64>,
+    /// `fast_prefix[h]` = harmonic capacity of `h` fast groups, computed by the
+    /// same repeated addition as `harmonic_capacity`, length `fast_count + 1`.
+    fast_prefix: Vec<f64>,
+    /// `slow_units[k]` = `1/y_k` when `y_k` is finite and positive, else `0.0`
+    /// (adding `+0.0` is bit-identical to the seed's skip), length `ms`.
+    slow_units: Vec<f64>,
+    /// `1/ŷ` under the greedy distribution's validity test, else `0.0`.
+    fast_unit: f64,
+    /// Pipelines whose slow capacity must be re-folded after a counter step.
+    touched: Vec<usize>,
+    /// Dense membership mask for `touched`, length `dp`.
+    touched_mask: Vec<bool>,
+    /// Slow-group visit order for the local-search seeding, length `ms`.
+    order: Vec<usize>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<DivisionScratch> = RefCell::new(DivisionScratch::default());
+}
+
+impl DivisionScratch {
+    /// Size every buffer for `problem` and precompute the per-group capacity
+    /// contributions.  Existing heap capacity is reused.
+    fn prepare(&mut self, problem: &DivisionProblem) {
+        let dp = problem.dp;
+        let ms = problem.slow_rates.len();
+        self.assignment.clear();
+        self.assignment.resize(ms, 0);
+        self.best_assignment.clear();
+        self.best_assignment.resize(ms, 0);
+        self.slow_counts.clear();
+        self.slow_counts.resize(dp, 0);
+        self.slow_capacity.clear();
+        self.slow_capacity.resize(dp, 0.0);
+        self.fast.clear();
+        self.fast.resize(dp, 0);
+        self.greedy_capacity.clear();
+        self.greedy_capacity.resize(dp, 0.0);
+        self.capacities.clear();
+        self.capacities.resize(dp, 0.0);
+        self.weights.clear();
+        self.weights.resize(dp, 0.0);
+        self.touched.clear();
+        self.touched.reserve(dp);
+        self.touched_mask.clear();
+        self.touched_mask.resize(dp, false);
+        self.order.clear();
+
+        self.fast_unit = if problem.fast_rate > 0.0 && problem.fast_rate.is_finite() {
+            1.0 / problem.fast_rate
+        } else {
+            0.0
+        };
+        // `harmonic_capacity` filters on `is_finite && > 0` and left-folds the
+        // reciprocals; `fast_prefix[h]` reproduces that fold for `h` copies of
+        // the fast rate by the same repeated addition.
+        let fast_contrib = if problem.fast_rate.is_finite() && problem.fast_rate > 0.0 {
+            1.0 / problem.fast_rate
+        } else {
+            0.0
+        };
+        self.fast_prefix.clear();
+        self.fast_prefix.reserve(problem.fast_count + 1);
+        let mut acc = 0.0_f64;
+        self.fast_prefix.push(acc);
+        for _ in 0..problem.fast_count {
+            acc += fast_contrib;
+            self.fast_prefix.push(acc);
         }
-        fast[i] = need;
-        remaining -= need;
+        self.slow_units.clear();
+        self.slow_units.extend(problem.slow_rates.iter().map(|&y| {
+            if y.is_finite() && y > 0.0 {
+                1.0 / y
+            } else {
+                0.0
+            }
+        }));
     }
-    let unit = if fast_rate > 0.0 && fast_rate.is_finite() {
-        1.0 / fast_rate
-    } else {
-        0.0
-    };
-    let mut capacity: Vec<f64> = (0..dp)
-        .map(|i| slow_capacity[i] + fast[i] as f64 * unit)
-        .collect();
-    for _ in 0..remaining {
-        let (imin, _) = capacity
+
+    /// Assignment-invariant lower bound on the objective: the total capacity
+    /// `Σ_i W_i` does not depend on where the groups land, so no candidate can
+    /// beat `M / Σ_i W_i` (the relaxed optimum).  Shrunk by a relative margin
+    /// far above the float noise of any per-candidate fold so pruning on it can
+    /// never reject a candidate the exact fold would have accepted.
+    fn lower_bound(&self, problem: &DivisionProblem) -> f64 {
+        let total_capacity =
+            self.fast_prefix[problem.fast_count] + self.slow_units.iter().sum::<f64>();
+        if !(total_capacity.is_finite() && total_capacity > 0.0) {
+            return f64::NEG_INFINITY;
+        }
+        let lb = problem.num_micro_batches as f64 / total_capacity;
+        if !lb.is_finite() {
+            return f64::NEG_INFINITY;
+        }
+        lb * (1.0 - 1e-9)
+    }
+
+    /// Derive `slow_counts`/`slow_capacity` from `assignment` from scratch
+    /// (ascending-`k` fold, the seed's summation order).
+    fn init_slots(&mut self) {
+        self.slow_counts.fill(0);
+        self.slow_capacity.fill(0.0);
+        for (&p, &u) in self.assignment.iter().zip(self.slow_units.iter()) {
+            self.slow_counts[p] += 1;
+            self.slow_capacity[p] += u;
+        }
+    }
+
+    /// Overwrite `assignment` with the mixed-radix decoding of `idx`
+    /// (digit `k` is the least significant after `k` divisions, matching the
+    /// enumeration counter which increments position 0 first).
+    fn set_counter(&mut self, mut idx: u64, dp: usize) {
+        let radix = dp as u64;
+        for slot in self.assignment.iter_mut() {
+            *slot = (idx % radix) as usize;
+            idx /= radix;
+        }
+    }
+
+    /// Decode `idx` straight into `best_assignment` (used by the parallel
+    /// reduction, whose winner is identified by candidate index).
+    fn decode_best(&mut self, mut idx: u64, dp: usize) {
+        let radix = dp as u64;
+        for slot in self.best_assignment.iter_mut() {
+            *slot = (idx % radix) as usize;
+            idx /= radix;
+        }
+    }
+
+    fn mark_touched(&mut self, p: usize) {
+        if !self.touched_mask[p] {
+            self.touched_mask[p] = true;
+            self.touched.push(p);
+        }
+    }
+
+    /// Re-fold the slow capacities of the touched pipelines in ascending-`k`
+    /// order — bit-identical to rebuilding them from scratch — then clear the
+    /// touched set.
+    fn recompute_touched_capacities(&mut self) {
+        for &t in &self.touched {
+            self.slow_capacity[t] = 0.0;
+        }
+        for (&p, &u) in self.assignment.iter().zip(self.slow_units.iter()) {
+            if self.touched_mask[p] {
+                self.slow_capacity[p] += u;
+            }
+        }
+        for &t in &self.touched {
+            self.touched_mask[t] = false;
+        }
+        self.touched.clear();
+    }
+
+    /// Advance the mixed-radix counter by one, incrementally maintaining
+    /// `slow_counts` and `slow_capacity`.  Returns `false` when the counter
+    /// wraps (enumeration exhausted).
+    fn advance(&mut self, dp: usize) -> bool {
+        let ms = self.assignment.len();
+        let mut pos = 0;
+        loop {
+            if pos == ms {
+                break;
+            }
+            let old = self.assignment[pos];
+            self.mark_touched(old);
+            let next = old + 1;
+            if next < dp {
+                self.assignment[pos] = next;
+                self.mark_touched(next);
+                self.slow_counts[old] -= 1;
+                self.slow_counts[next] += 1;
+                break;
+            }
+            self.assignment[pos] = 0;
+            self.mark_touched(0);
+            self.slow_counts[old] -= 1;
+            self.slow_counts[0] += 1;
+            pos += 1;
+        }
+        if pos == ms {
+            for &t in &self.touched {
+                self.touched_mask[t] = false;
+            }
+            self.touched.clear();
+            return false;
+        }
+        self.recompute_touched_capacities();
+        true
+    }
+
+    /// Reassign slow group `k` to pipeline `p` (local-search move),
+    /// incrementally maintaining the slot state.
+    fn move_digit(&mut self, k: usize, p: usize) {
+        let old = self.assignment[k];
+        if old == p {
+            return;
+        }
+        self.assignment[k] = p;
+        self.slow_counts[old] -= 1;
+        self.slow_counts[p] += 1;
+        self.mark_touched(old);
+        self.mark_touched(p);
+        self.recompute_touched_capacities();
+    }
+
+    /// Score the current assignment: distribute the fast groups greedily,
+    /// derive the harmonic capacities, and split the micro-batches exactly.
+    ///
+    /// Returns the objective, or NaN when the candidate is infeasible (cannot
+    /// satisfy the minimum-groups bound, has a zero-capacity pipeline, or the
+    /// allocator rejects it).  Every arithmetic step replicates the seed's
+    /// expressions so the returned bits are identical.
+    fn score_current(&mut self, problem: &DivisionProblem, min_groups: usize) -> f64 {
+        let dp = problem.dp;
+        // Minimum-groups fill (seed: `distribute_fast_groups` preamble).
+        let mut remaining = problem.fast_count;
+        for (f, &have_slow) in self.fast.iter_mut().zip(self.slow_counts.iter()) {
+            let need = min_groups.saturating_sub(have_slow);
+            if need > remaining {
+                return f64::NAN;
+            }
+            *f = need;
+            remaining -= need;
+        }
+        // Greedy balancing on the seed's working capacity expression.
+        let unit = self.fast_unit;
+        for ((g, &s), &f) in self
+            .greedy_capacity
+            .iter_mut()
+            .zip(self.slow_capacity.iter())
+            .zip(self.fast.iter())
+        {
+            *g = s + f as f64 * unit;
+        }
+        // The seed re-scanned all `dp` slots for every fast group.  The argmin
+        // (`min_by(total_cmp)`, first among ties) is the lexicographic minimum
+        // of `(level, slot)`; assigning a unit only changes the winner's level,
+        // so the winner keeps winning — no rescan — until its updated `(level,
+        // slot)` pair stops comparing below the runner-up from the last scan.
+        while remaining > 0 {
+            let mut imin = 0usize;
+            let mut min_lvl = self.greedy_capacity[0];
+            let mut isec = usize::MAX;
+            let mut sec_lvl = f64::INFINITY;
+            for (i, &l) in self.greedy_capacity.iter().enumerate().skip(1) {
+                if l.total_cmp(&min_lvl) == std::cmp::Ordering::Less {
+                    isec = imin;
+                    sec_lvl = min_lvl;
+                    imin = i;
+                    min_lvl = l;
+                } else if l.total_cmp(&sec_lvl) == std::cmp::Ordering::Less {
+                    isec = i;
+                    sec_lvl = l;
+                }
+            }
+            loop {
+                self.fast[imin] += 1;
+                self.greedy_capacity[imin] += unit;
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+                let l = self.greedy_capacity[imin];
+                let still_winner = match l.total_cmp(&sec_lvl) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => imin < isec,
+                    std::cmp::Ordering::Greater => false,
+                };
+                if !still_winner {
+                    break;
+                }
+            }
+        }
+        // Canonical capacities in the seed's `evaluate` fold order: all fast
+        // contributions first (prefix table), then slow groups ascending in k.
+        for (c, &f) in self.capacities.iter_mut().zip(self.fast.iter()) {
+            *c = self.fast_prefix[f];
+        }
+        for (&p, &u) in self.assignment.iter().zip(self.slow_units.iter()) {
+            self.capacities[p] += u;
+        }
+        for (w, &c) in self.weights.iter_mut().zip(self.capacities.iter()) {
+            if c <= 0.0 {
+                return f64::NAN;
+            }
+            *w = 1.0 / c;
+        }
+        debug_assert_eq!(self.weights.len(), dp);
+        solve_minmax_allocation_into(
+            &self.weights,
+            problem.num_micro_batches,
+            &[],
+            &mut self.amounts,
+        )
+        .unwrap_or(f64::NAN)
+    }
+
+    /// Materialize the winning candidate: restore `best_assignment`, rescore it
+    /// (deterministic, so the bits match the accepted evaluation) and clone the
+    /// arena buffers into an owned [`Division`].
+    fn rebuild(&mut self, problem: &DivisionProblem, min_groups: usize) -> Division {
+        self.assignment.copy_from_slice(&self.best_assignment);
+        self.init_slots();
+        let objective = self.score_current(problem, min_groups);
+        debug_assert!(
+            !objective.is_nan(),
+            "the accepted best assignment must rescore as feasible"
+        );
+        Division {
+            fast_per_pipeline: self.fast.clone(),
+            slow_assignment: self.best_assignment.clone(),
+            micro_batches: self.amounts.clone(),
+            capacities: self.capacities.clone(),
+            objective,
+        }
+    }
+}
+
+/// Sequential exact enumeration with incremental counter maintenance and
+/// lower-bound early exit.  Expects `prepare` + `init_slots` to have run.
+/// Returns whether any feasible candidate was found; the winner is left in
+/// `scratch.best_assignment`.
+fn enumerate_serial(
+    scratch: &mut DivisionScratch,
+    problem: &DivisionProblem,
+    min_groups: usize,
+    lb: f64,
+) -> bool {
+    let mut have = false;
+    let mut best = 0.0_f64;
+    loop {
+        // Once the incumbent touches the relaxed optimum no candidate can pass
+        // `obj < best - 1e-12` (every objective is >= the margined bound), so
+        // the holes this break leaves behind cannot change the fold result.
+        if have && best <= lb {
+            break;
+        }
+        let obj = scratch.score_current(problem, min_groups);
+        if !obj.is_nan() && (!have || obj < best - 1e-12) {
+            have = true;
+            best = obj;
+            scratch.best_assignment.copy_from_slice(&scratch.assignment);
+        }
+        if !scratch.advance(problem.dp) {
+            break;
+        }
+    }
+    have
+}
+
+/// Parallel exact enumeration: the counter range is split into contiguous
+/// chunks, each worker records its candidates' objective bits into an
+/// index-ordered array (NaN = infeasible or locally pruned), and a serial
+/// index-order fold picks the winner with the exact tie-breaking of the
+/// sequential loop.  Workers prune only on their own local incumbent, which is
+/// safe for the same reason the serial early-exit is.
+fn enumerate_parallel(
+    problem: &DivisionProblem,
+    min_groups: usize,
+    lb: f64,
+    search_space: u64,
+    workers: usize,
+) -> Option<u64> {
+    let n = search_space as usize;
+    let mut bits = vec![f64::NAN.to_bits(); n];
+    let workers_eff = workers.min(n).max(1);
+    let base = n / workers_eff;
+    let rem = n % workers_eff;
+    std::thread::scope(|s| {
+        let mut rest: &mut [u64] = &mut bits;
+        let mut start = 0_usize;
+        for w in 0..workers_eff {
+            let len = base + usize::from(w < rem);
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let chunk_start = start;
+            start += len;
+            s.spawn(move || {
+                let mut scratch = DivisionScratch::default();
+                scratch.prepare(problem);
+                scratch.set_counter(chunk_start as u64, problem.dp);
+                scratch.init_slots();
+                let mut have = false;
+                let mut local_best = 0.0_f64;
+                for out in chunk.iter_mut() {
+                    if have && local_best <= lb {
+                        break;
+                    }
+                    let obj = scratch.score_current(problem, min_groups);
+                    if !obj.is_nan() {
+                        *out = obj.to_bits();
+                        if !have || obj < local_best - 1e-12 {
+                            have = true;
+                            local_best = obj;
+                        }
+                    }
+                    if !scratch.advance(problem.dp) {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let mut best: Option<(u64, f64)> = None;
+    for (idx, &b) in bits.iter().enumerate() {
+        let obj = f64::from_bits(b);
+        if obj.is_nan() {
+            continue;
+        }
+        let accept = match best {
+            Some((_, incumbent)) => obj < incumbent - 1e-12,
+            None => true,
+        };
+        if accept {
+            best = Some((idx as u64, obj));
+        }
+    }
+    best.map(|(idx, _)| idx)
+}
+
+/// Deterministic local search for oversized search spaces: greedy seeding
+/// (heaviest slow group to the emptiest pipeline) followed by single-move hill
+/// climbing, replicating the seed's move acceptance (including its
+/// revert-to-round-start-value behavior) exactly.
+fn local_search(
+    scratch: &mut DivisionScratch,
+    problem: &DivisionProblem,
+    min_groups: usize,
+    lb: f64,
+) -> bool {
+    let dp = problem.dp;
+    let ms = problem.slow_rates.len();
+    // Greedy seeding: visit slow groups from slowest to fastest (stable order
+    // on ties), round-robin over the pipelines with the fewest slow groups.
+    scratch.order.clear();
+    scratch.order.extend(0..ms);
+    let rates = &problem.slow_rates;
+    scratch
+        .order
+        .sort_by(|&a, &b| rates[b].total_cmp(&rates[a]));
+    scratch.slow_counts.fill(0);
+    for &k in scratch.order.iter() {
+        let (p, _) = scratch
+            .slow_counts
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap();
-        fast[imin] += 1;
-        capacity[imin] += unit;
+            .min_by_key(|&(_, &c)| c)
+            .expect("dp >= 1 is validated at entry");
+        scratch.assignment[k] = p;
+        scratch.slow_counts[p] += 1;
     }
-    Some(fast)
-}
-
-/// Evaluate a full division: compute capacities, split micro-batches exactly and
-/// return the objective.
-fn evaluate(
-    problem: &DivisionProblem,
-    fast_per_pipeline: &[usize],
-    slow_assignment: &[usize],
-) -> Option<Division> {
-    let dp = problem.dp;
-    let mut rates_per_pipeline: Vec<Vec<f64>> = vec![Vec::new(); dp];
-    for (i, &count) in fast_per_pipeline.iter().enumerate() {
-        for _ in 0..count {
-            rates_per_pipeline[i].push(problem.fast_rate);
+    scratch.init_slots();
+    let mut have = false;
+    let mut best = 0.0_f64;
+    let obj = scratch.score_current(problem, min_groups);
+    if !obj.is_nan() {
+        have = true;
+        best = obj;
+        scratch.best_assignment.copy_from_slice(&scratch.assignment);
+    }
+    // Hill climbing over single reassignments.
+    let mut improved = true;
+    let mut rounds = 0_usize;
+    'outer: while improved && rounds < 64 {
+        improved = false;
+        rounds += 1;
+        for k in 0..ms {
+            let original = scratch.assignment[k];
+            for p in 0..dp {
+                if p == original {
+                    continue;
+                }
+                // At the bound no further move can be accepted, so skipping
+                // them leaves `best_assignment` (the result) unchanged.
+                if have && best <= lb {
+                    break 'outer;
+                }
+                scratch.move_digit(k, p);
+                let before = if have { best } else { f64::INFINITY };
+                let obj = scratch.score_current(problem, min_groups);
+                if !obj.is_nan() && (!have || obj < best - 1e-12) {
+                    have = true;
+                    best = obj;
+                    scratch.best_assignment.copy_from_slice(&scratch.assignment);
+                }
+                let after = if have { best } else { f64::INFINITY };
+                if after < before - 1e-12 {
+                    improved = true;
+                } else {
+                    // The seed reverts to the value `assignment[k]` held at the
+                    // start of the k-loop, even if an earlier p was accepted.
+                    scratch.move_digit(k, original);
+                }
+            }
         }
     }
-    for (k, &p) in slow_assignment.iter().enumerate() {
-        rates_per_pipeline[p].push(problem.slow_rates[k]);
-    }
-    let capacities: Vec<f64> = rates_per_pipeline
-        .iter()
-        .map(|r| harmonic_capacity(r))
-        .collect();
-    // Any pipeline with zero capacity (all groups failed or none assigned)
-    // cannot train a replica.
-    if capacities.iter().any(|&c| c <= 0.0) {
-        return None;
-    }
-    // Micro-batch weights: time per micro-batch ∝ 1 / W_i.
-    let weights: Vec<f64> = capacities.iter().map(|&c| 1.0 / c).collect();
-    let alloc = solve_minmax_allocation(&weights, problem.num_micro_batches, &[]).ok()?;
-    Some(Division {
-        fast_per_pipeline: fast_per_pipeline.to_vec(),
-        slow_assignment: slow_assignment.to_vec(),
-        micro_batches: alloc.amounts,
-        capacities,
-        objective: alloc.objective,
-    })
+    have
 }
 
-/// Solve the pipeline-division problem.
+/// Solve the pipeline-division problem (sequential search).
 pub fn divide_pipelines(problem: &DivisionProblem) -> Result<Division, DivisionError> {
+    divide_pipelines_parallel(problem, 1)
+}
+
+/// Solve the pipeline-division problem, splitting large exact enumerations
+/// across up to `workers` threads.  The result is byte-identical to
+/// [`divide_pipelines`] at any worker count.
+pub fn divide_pipelines_parallel(
+    problem: &DivisionProblem,
+    workers: usize,
+) -> Result<Division, DivisionError> {
     let dp = problem.dp;
     if dp == 0 {
         return Err(DivisionError::ZeroPipelines);
     }
-    let required = dp * problem.min_groups_per_pipeline.max(1);
+    let min_groups = problem.min_groups_per_pipeline.max(1);
+    let required = dp * min_groups;
     if problem.total_groups() < required {
         return Err(DivisionError::NotEnoughGroups {
             groups: problem.total_groups(),
@@ -220,116 +708,42 @@ pub fn divide_pipelines(problem: &DivisionProblem) -> Result<Division, DivisionE
     let ms = problem.slow_rates.len();
     let search_space = (dp as u64).checked_pow(ms as u32).unwrap_or(u64::MAX);
 
-    let mut best: Option<Division> = None;
-    let consider = |assignment: &[usize], best: &mut Option<Division>| {
-        let mut slow_counts = vec![0usize; dp];
-        let mut slow_capacity = vec![0.0f64; dp];
-        for (k, &p) in assignment.iter().enumerate() {
-            slow_counts[p] += 1;
-            let y = problem.slow_rates[k];
-            if y.is_finite() && y > 0.0 {
-                slow_capacity[p] += 1.0 / y;
-            }
-        }
-        if let Some(fast) = distribute_fast_groups(
-            dp,
-            problem.fast_count,
-            problem.fast_rate,
-            &slow_capacity,
-            &slow_counts,
-            problem.min_groups_per_pipeline.max(1),
-        ) {
-            if let Some(candidate) = evaluate(problem, &fast, assignment) {
-                if best
-                    .as_ref()
-                    .map(|b| candidate.objective < b.objective - 1e-12)
-                    .unwrap_or(true)
-                {
-                    *best = Some(candidate);
-                }
-            }
-        }
-    };
-
-    if search_space <= problem.exact_enumeration_limit {
-        // Exact enumeration of all slow-group assignments.
-        let mut assignment = vec![0usize; ms];
-        loop {
-            consider(&assignment, &mut best);
-            // Advance the mixed-radix counter.
-            let mut pos = 0;
-            loop {
-                if pos == ms {
-                    break;
-                }
-                assignment[pos] += 1;
-                if assignment[pos] < dp {
-                    break;
-                }
-                assignment[pos] = 0;
-                pos += 1;
-            }
-            if pos == ms {
-                break;
-            }
-            if ms == 0 {
-                break;
-            }
-        }
-        if ms == 0 {
-            consider(&[], &mut best);
-        }
-    } else {
-        // Deterministic local search: greedy seeding (heaviest slow group to the
-        // pipeline with the largest remaining deficit) followed by single-move
-        // hill climbing.
-        let mut order: Vec<usize> = (0..ms).collect();
-        order.sort_by(|&a, &b| problem.slow_rates[b].total_cmp(&problem.slow_rates[a]));
-        let mut assignment = vec![0usize; ms];
-        let mut counts = vec![0usize; dp];
-        for &k in &order {
-            // Round-robin over pipelines with the fewest slow groups so slow
-            // groups spread out (they then attract fewer fast groups).
-            let (p, _) = counts.iter().enumerate().min_by_key(|(_, &c)| c).unwrap();
-            assignment[k] = p;
-            counts[p] += 1;
-        }
-        consider(&assignment, &mut best);
-        // Hill climbing over single reassignments.
-        let mut improved = true;
-        let mut rounds = 0usize;
-        while improved && rounds < 64 {
-            improved = false;
-            rounds += 1;
-            for k in 0..ms {
-                let original = assignment[k];
-                for p in 0..dp {
-                    if p == original {
-                        continue;
+    SCRATCH.with(|cell| {
+        let mut borrow = cell.borrow_mut();
+        let scratch = &mut *borrow;
+        scratch.prepare(problem);
+        let lb = scratch.lower_bound(problem);
+        let found = if search_space <= problem.exact_enumeration_limit {
+            if workers > 1 && (PARALLEL_MIN_SEARCH..=PARALLEL_MAX_SEARCH).contains(&search_space) {
+                match enumerate_parallel(problem, min_groups, lb, search_space, workers) {
+                    Some(best_idx) => {
+                        scratch.decode_best(best_idx, dp);
+                        true
                     }
-                    assignment[k] = p;
-                    let before = best.as_ref().map(|b| b.objective).unwrap_or(f64::INFINITY);
-                    consider(&assignment, &mut best);
-                    let after = best.as_ref().map(|b| b.objective).unwrap_or(f64::INFINITY);
-                    if after < before - 1e-12 {
-                        improved = true;
-                    } else {
-                        assignment[k] = original;
-                    }
+                    None => false,
                 }
+            } else {
+                scratch.init_slots();
+                enumerate_serial(scratch, problem, min_groups, lb)
             }
+        } else {
+            local_search(scratch, problem, min_groups, lb)
+        };
+        if !found {
+            return Err(DivisionError::NotEnoughGroups {
+                groups: problem.total_groups(),
+                required,
+            });
         }
-    }
-
-    best.ok_or(DivisionError::NotEnoughGroups {
-        groups: problem.total_groups(),
-        required,
+        Ok(scratch.rebuild(problem, min_groups))
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::divide_pipelines_reference;
+    use proptest::prelude::*;
 
     #[test]
     fn homogeneous_groups_split_evenly() {
@@ -405,5 +819,156 @@ mod tests {
         let d = divide_pipelines(&p).unwrap();
         assert_eq!(d.micro_batches.iter().sum::<u64>(), 1024);
         assert_eq!(d.slow_assignment.len(), 16);
+    }
+
+    fn assert_bitwise_equal(a: &Division, b: &Division, ctx: &str) {
+        assert_eq!(a.fast_per_pipeline, b.fast_per_pipeline, "{ctx}");
+        assert_eq!(a.slow_assignment, b.slow_assignment, "{ctx}");
+        assert_eq!(a.micro_batches, b.micro_batches, "{ctx}");
+        assert_eq!(
+            a.objective.to_bits(),
+            b.objective.to_bits(),
+            "{ctx}: objective {} vs {}",
+            a.objective,
+            b.objective
+        );
+        let ca: Vec<u64> = a.capacities.iter().map(|c| c.to_bits()).collect();
+        let cb: Vec<u64> = b.capacities.iter().map(|c| c.to_bits()).collect();
+        assert_eq!(ca, cb, "{ctx}");
+    }
+
+    #[test]
+    fn parallel_division_is_bitwise_identical_to_serial_at_any_worker_count() {
+        let instances = vec![
+            // 8^4 = 4096 and 4^6 = 4096: right at the parallel threshold.
+            DivisionProblem::new(8, 24, 1.0, vec![2.0, 3.0, 2.5, 4.0], 256),
+            DivisionProblem::new(4, 10, 1.25, vec![2.0, 2.0, 3.5, 5.0, 2.25, 4.0], 192),
+            // 8^5 = 32768 with ties in the rates.
+            DivisionProblem::new(8, 40, 0.5, vec![1.5, 1.5, 2.5, 3.0, 3.5], 512),
+        ];
+        for p in instances {
+            let serial = divide_pipelines(&p).unwrap();
+            for workers in [1usize, 2, 3, 4, 8] {
+                let par = divide_pipelines_parallel(&p, workers).unwrap();
+                assert_bitwise_equal(&par, &serial, &format!("workers={workers} problem={p:?}"));
+            }
+        }
+    }
+
+    fn assert_matches_reference(p: &DivisionProblem, workers: usize) {
+        let new = divide_pipelines_parallel(p, workers);
+        let old = divide_pipelines_reference(p);
+        match (new, old) {
+            (Ok(a), Ok(b)) => assert_bitwise_equal(&a, &b, &format!("workers={workers} {p:?}")),
+            (Err(a), Err(b)) => assert_eq!(a, b, "{p:?}"),
+            (a, b) => panic!("divergent outcomes for {p:?}: new={a:?} reference={b:?}"),
+        }
+    }
+
+    #[test]
+    fn optimized_division_is_bitwise_equal_to_seed_reference_on_fixed_cases() {
+        let mut cases: Vec<DivisionProblem> = vec![
+            DivisionProblem::new(4, 16, 1.0, vec![], 64),
+            DivisionProblem::new(2, 7, 1.0, vec![4.0], 64),
+            DivisionProblem::new(3, 6, 1.0, vec![2.0, 3.0, 5.0], 48),
+            DivisionProblem::new(1, 3, 2.0, vec![1.0, 9.0], 17),
+            DivisionProblem::new(5, 0, 1.0, vec![1.0, 2.0, 3.0, 4.0, 5.0], 100),
+            // Degenerate rates: infinite fast rate (fast groups contribute no
+            // capacity) and an infinite slow rate (skipped by the harmonic sum).
+            DivisionProblem::new(2, 2, f64::INFINITY, vec![2.0, 2.0], 16),
+            DivisionProblem::new(3, 4, 1.0, vec![f64::INFINITY, 2.0], 32),
+            // Zero micro-batches: the bound prune fires immediately (lb = 0).
+            DivisionProblem::new(4, 4, 1.0, vec![2.0], 0),
+            // Equal rates everywhere: maximal 1e-12 tie pressure on the fold.
+            DivisionProblem::new(4, 8, 1.0, vec![1.0, 1.0, 1.0], 96),
+        ];
+        let mut min2 = DivisionProblem::new(2, 2, 1.0, vec![2.0, 2.0], 16);
+        min2.min_groups_per_pipeline = 2;
+        cases.push(min2);
+        let mut ls = DivisionProblem::new(3, 6, 1.0, vec![2.0, 3.0, 5.0, 1.5], 48);
+        ls.exact_enumeration_limit = 4; // force the local-search path
+        cases.push(ls);
+        for p in &cases {
+            assert_matches_reference(p, 1);
+            assert_matches_reference(p, 4);
+        }
+    }
+
+    #[test]
+    fn optimized_division_matches_reference_on_pseudorandom_sweep() {
+        // Deterministic xorshift sweep for breadth beyond the fixed cases.
+        let mut state = 0x243f_6a88_85a3_08d3_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..80 {
+            let dp = 1 + (next() % 4) as usize;
+            let fast_count = (next() % 12) as usize;
+            let ms = (next() % 5) as usize;
+            let fast_rate = ((next() % 380) + 20) as f64 / 100.0;
+            let slow: Vec<f64> = (0..ms)
+                .map(|_| ((next() % 900) + 100) as f64 / 100.0)
+                .collect();
+            let total = next() % 256;
+            let mut p = DivisionProblem::new(dp, fast_count, fast_rate, slow, total);
+            if next() % 4 == 0 {
+                p.min_groups_per_pipeline = 1 + (next() % 2) as usize;
+            }
+            if next() % 5 == 0 {
+                p.exact_enumeration_limit = 2; // exercise local search
+            }
+            assert_matches_reference(&p, 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The bound-pruned, incrementally-enumerated search returns a
+        /// `Division` bitwise-equal to an unpruned seed-reference run.
+        #[test]
+        fn pruned_search_is_bitwise_equal_to_unpruned_reference(
+            dp in 1usize..5,
+            fast_count in 0usize..12,
+            fast_rate in 0.2f64..4.0,
+            slow in prop::collection::vec(0.5f64..10.0, 0..5),
+            total in 1u64..512,
+        ) {
+            let p = DivisionProblem::new(dp, fast_count, fast_rate, slow, total);
+            let new = divide_pipelines(&p);
+            let old = divide_pipelines_reference(&p);
+            match (new, old) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.fast_per_pipeline, &b.fast_per_pipeline);
+                    prop_assert_eq!(&a.slow_assignment, &b.slow_assignment);
+                    prop_assert_eq!(&a.micro_batches, &b.micro_batches);
+                    prop_assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+                    let ca: Vec<u64> = a.capacities.iter().map(|c| c.to_bits()).collect();
+                    let cb: Vec<u64> = b.capacities.iter().map(|c| c.to_bits()).collect();
+                    prop_assert_eq!(ca, cb);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => panic!("divergent outcomes: new={a:?} reference={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_enumeration_is_allocation_free() {
+        // 8^4 = 4096 enumerated candidates.  After a warm call on this thread,
+        // a full search may only allocate O(1) times (the returned Division's
+        // four owned vectors and small bookkeeping) — nothing per candidate.
+        let p = DivisionProblem::new(8, 24, 1.0, vec![2.0, 2.5, 3.0, 3.5], 256);
+        let warm = divide_pipelines(&p).unwrap();
+        let (allocs, d) = crate::alloc_counter::count_allocations(|| divide_pipelines(&p));
+        let d = d.unwrap();
+        assert_eq!(d, warm);
+        assert!(
+            allocs <= 32,
+            "steady-state solve allocated {allocs} times across 4096 candidates"
+        );
     }
 }

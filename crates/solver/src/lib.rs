@@ -19,11 +19,78 @@
 //!   with the micro-batch counts, minimizing the slowest pipeline.
 //! * **Continuous relaxations** ([`relax`]): the harmonic-capacity estimates
 //!   used by Theorem 2 to rank grouping results in constant time.
+//!
+//! The division search is the planner's hot path and is implemented
+//! allocation-free over a reusable scratch arena with incremental enumeration,
+//! bound pruning, and optional intra-candidate parallelism
+//! ([`division::divide_pipelines_parallel`]).  The [`reference`] module keeps
+//! the original straightforward implementations frozen as the byte-identity
+//! oracle for those optimizations.
 
 pub mod division;
 pub mod minmax;
+pub mod reference;
 pub mod relax;
 
-pub use division::{divide_pipelines, Division, DivisionProblem};
-pub use minmax::{solve_minmax_allocation, AllocationError, AllocationResult};
+pub use division::{divide_pipelines, divide_pipelines_parallel, Division, DivisionProblem};
+pub use minmax::{
+    solve_minmax_allocation, solve_minmax_allocation_into, AllocationError, AllocationResult,
+};
 pub use relax::{harmonic_capacity, relaxed_minmax_objective, theorem2_ratio};
+
+/// Counting global allocator for the crate's unit tests: verifies that the
+/// steady-state division search performs zero per-candidate heap allocations.
+/// Only compiled into the test binary.
+#[cfg(test)]
+pub(crate) mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ENABLED: Cell<bool> = const { Cell::new(false) };
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub struct CountingAllocator;
+
+    // The thread-locals are const-initialized so reading them never allocates
+    // (a lazily-initialized TLS slot would recurse into the allocator).
+    // `try_with` guards against access during thread teardown.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = ENABLED.try_with(|e| {
+                if e.get() {
+                    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+                }
+            });
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = ENABLED.try_with(|e| {
+                if e.get() {
+                    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+                }
+            });
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    /// Run `f` with allocation counting enabled on this thread; returns the
+    /// number of heap allocations (including reallocations) it performed.
+    pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+        ALLOCS.with(|c| c.set(0));
+        ENABLED.with(|e| e.set(true));
+        let result = f();
+        ENABLED.with(|e| e.set(false));
+        let allocs = ALLOCS.with(|c| c.get());
+        (allocs, result)
+    }
+}
